@@ -1,0 +1,67 @@
+"""Ablation of the paper's optimiser claim (Section III-G).
+
+The paper chooses plain SGD, arguing it "fits our case well and avoids
+over-fitting or corner cases such that P̂_l or P̂_d become negative".  We
+retrain the same submodel data with SGD, Momentum and Adam and compare
+hold-out MAE and the out-of-range-prediction rate.  (Our output layer is
+a sigmoid, so raw negativity cannot occur; we count saturated predictions
+beyond the observed target range instead.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.ann import Adam, Momentum, SGD, StandardScaler, build_mlp, mae
+
+from conftest import write_report
+
+
+def make_dataset(rows, seed=11):
+    """Synthetic reliability surface akin to the abnormal-region data."""
+    rng = np.random.default_rng(seed)
+    loss_rate = rng.uniform(0.0, 0.4, size=rows)
+    batch = rng.choice([1, 2, 4, 8, 10], size=rows).astype(float)
+    delay = rng.uniform(0.0, 0.3, size=rows)
+    size = rng.choice([100, 200, 400, 800], size=rows).astype(float)
+    p_loss = np.clip(loss_rate * 2.8 / batch + delay * 0.4
+                     + 30.0 / size + rng.normal(0, 0.01, rows), 0, 1)
+    x = np.stack([size, delay, loss_rate, batch], axis=1)
+    return x, p_loss[:, None]
+
+
+def run_optimizer_ablation():
+    x, y = make_dataset(400)
+    x_test, y_test = make_dataset(120, seed=12)
+    scaler = StandardScaler().fit(x)
+    outcomes = {}
+    for name, optimizer in [
+        ("sgd (paper)", SGD(0.3)),
+        ("momentum", Momentum(0.05, 0.9)),
+        ("adam", Adam(0.005)),
+    ]:
+        network = build_mlp(4, 1, hidden=(64, 32), seed=2)
+        network.fit(
+            scaler.transform(x), y, epochs=250, batch_size=32,
+            optimizer=optimizer, rng=np.random.default_rng(3),
+        )
+        predictions = network.predict(scaler.transform(x_test))
+        outcomes[name] = {
+            "mae": mae(predictions, y_test),
+            "out_of_range": float(np.mean((predictions < 0) | (predictions > 1))),
+        }
+    return outcomes
+
+
+def test_optimizer_ablation(benchmark):
+    outcomes = benchmark.pedantic(run_optimizer_ablation, rounds=1, iterations=1)
+    rows = [["optimizer", "hold-out MAE", "out-of-range predictions"]]
+    for name, stats in outcomes.items():
+        rows.append([name, f"{stats['mae']:.4f}", f"{stats['out_of_range']:.1%}"])
+    text = render_table(rows, title="Ablation: optimiser choice for the ANN")
+    write_report("ablation_optimizer", text)
+    # The paper's SGD must be competitive and never out of range.
+    sgd = outcomes["sgd (paper)"]
+    best = min(stats["mae"] for stats in outcomes.values())
+    assert sgd["out_of_range"] == 0.0
+    assert sgd["mae"] < max(3 * best, 0.05)

@@ -1,0 +1,189 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's headline figures, these benches probe:
+
+* **broker failures** (the paper's future-work scenario): leader failover
+  bounds the damage of a single crash;
+* **retry-strategy insensitivity** (Section VI: "we do not make a deep
+  dive into the retry strategy, since the impact is not pronounced"):
+  varying the retry backoff barely moves P_l;
+* **exactly-once semantics** (Section II: transactions cost performance):
+  the idempotent producer removes duplicates at a small throughput cost;
+* **bursty vs independent loss** at equal average rates.
+"""
+
+import pytest
+
+from repro.analysis import comparison_table, render_table
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Experiment, Scenario, run_experiment
+
+from paper_targets import BENCH_MESSAGES, Criterion
+from conftest import write_report
+
+
+def test_ablation_broker_failure(benchmark):
+    def run():
+        base = Scenario(
+            message_bytes=200,
+            message_count=3000,
+            seed=101,
+            arrival_rate=7.0,
+            config=ProducerConfig(message_timeout_s=2.0),
+        )
+        healthy = run_experiment(base)
+        single = Experiment(base)
+        single.injector.crash_broker_at(60.0, "broker-0")
+        single_result = single.run()
+        total = Experiment(base)
+        for broker_id in ("broker-0", "broker-1", "broker-2"):
+            total.injector.crash_broker_at(60.0, broker_id)
+        total_result = total.run()
+        return healthy, single_result, total_result
+
+    healthy, single, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    criteria = [
+        Criterion(
+            "healthy baseline is clean",
+            "P_l ≈ 0 without failures",
+            f"{healthy.p_loss:.3f}",
+            healthy.p_loss < 0.05,
+        ),
+        Criterion(
+            "single crash absorbed by failover",
+            "leader election keeps losses bounded",
+            f"single-crash P_l = {single.p_loss:.3f}",
+            single.p_loss < 0.3,
+        ),
+        Criterion(
+            "total outage loses the tail of the stream",
+            "everything after the crash is lost",
+            f"total-outage P_l = {total.p_loss:.3f}",
+            total.p_loss > 0.5,
+        ),
+    ]
+    text = comparison_table(
+        "Ablation: broker failures (future work of the paper)",
+        [criterion.as_tuple() for criterion in criteria],
+    )
+    write_report("ablation_broker_failure", text)
+    assert all(criterion.holds for criterion in criteria)
+
+
+def test_ablation_retry_backoff(benchmark):
+    """The paper found retry-strategy impact 'not pronounced'."""
+
+    def run():
+        losses = {}
+        for backoff in (0.01, 0.05, 0.2):
+            scenario = Scenario(
+                message_bytes=200,
+                message_count=BENCH_MESSAGES,
+                loss_rate=0.15,
+                network_delay_s=0.05,
+                seed=103,
+                config=ProducerConfig(
+                    message_timeout_s=4.0,
+                    request_timeout_s=1.0,
+                    retry_backoff_s=backoff,
+                ),
+            )
+            losses[backoff] = run_experiment(scenario).p_loss
+        return losses
+
+    losses = benchmark.pedantic(run, rounds=1, iterations=1)
+    values = list(losses.values())
+    spread = max(values) - min(values)
+    criteria = [
+        Criterion(
+            "retry backoff impact not pronounced",
+            "P_l varies little across a 20x backoff range",
+            ", ".join(f"{backoff}s: {loss:.3f}" for backoff, loss in losses.items()),
+            spread < 0.08,
+        ),
+    ]
+    text = comparison_table(
+        "Ablation: retry backoff insensitivity",
+        [criterion.as_tuple() for criterion in criteria],
+    )
+    write_report("ablation_retry", text)
+    assert all(criterion.holds for criterion in criteria)
+
+
+def test_ablation_exactly_once(benchmark):
+    """Idempotence removes duplicates; throughput pays a modest price."""
+
+    def run():
+        results = {}
+        for semantics in (DeliverySemantics.AT_LEAST_ONCE, DeliverySemantics.EXACTLY_ONCE):
+            scenario = Scenario(
+                message_bytes=200,
+                message_count=3000,
+                loss_rate=0.13,
+                network_delay_s=0.1,
+                seed=104,
+                arrival_rate=6.0,
+                config=ProducerConfig(
+                    semantics=semantics,
+                    message_timeout_s=6.0,
+                    request_timeout_s=0.9,
+                ),
+            )
+            results[semantics.value] = run_experiment(scenario)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    alo = results["at_least_once"]
+    eos = results["exactly_once"]
+    criteria = [
+        Criterion(
+            "at-least-once duplicates under ack races",
+            "P_d > 0",
+            f"{alo.p_duplicate:.4f}",
+            alo.p_duplicate > 0.0,
+        ),
+        Criterion(
+            "exactly-once eliminates duplicates",
+            "P_d = 0 with broker-side fencing",
+            f"{eos.p_duplicate:.4f}",
+            eos.p_duplicate == 0.0,
+        ),
+        Criterion(
+            "loss profile unchanged",
+            "idempotence is about duplicates, not losses",
+            f"alo {alo.p_loss:.3f} vs eos {eos.p_loss:.3f}",
+            abs(alo.p_loss - eos.p_loss) < 0.1,
+        ),
+    ]
+    text = comparison_table(
+        "Ablation: exactly-once (idempotent producer extension)",
+        [criterion.as_tuple() for criterion in criteria],
+    )
+    write_report("ablation_exactly_once", text)
+    assert all(criterion.holds for criterion in criteria)
+
+
+def test_ablation_bursty_loss(benchmark):
+    """Gilbert–Elliott bursts vs Bernoulli drops at the same mean rate."""
+
+    def run():
+        results = {}
+        for bursty in (False, True):
+            scenario = Scenario(
+                message_bytes=200,
+                message_count=BENCH_MESSAGES,
+                loss_rate=0.13,
+                seed=105,
+                bursty_loss=bursty,
+                config=ProducerConfig(message_timeout_s=1.5),
+            )
+            results[bursty] = run_experiment(scenario).p_loss
+        return results
+
+    losses = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [["loss process", "P_l"],
+            ["independent (Bernoulli)", f"{losses[False]:.3f}"],
+            ["bursty (Gilbert–Elliott)", f"{losses[True]:.3f}"]]
+    text = render_table(rows, title="Ablation: loss burstiness at equal mean rate")
+    write_report("ablation_bursty_loss", text)
+    assert 0.0 <= losses[False] <= 1.0 and 0.0 <= losses[True] <= 1.0

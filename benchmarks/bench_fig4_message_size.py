@@ -1,0 +1,83 @@
+"""Reproduction of paper Fig. 4: P_l vs message size M.
+
+Environment: D = 100 ms delay, L = 19 % packet loss, fully loaded
+producer, stream mode (B = 1), both delivery semantics.
+
+Paper claims (Section IV-A, following the self-consistent reading — see
+DESIGN.md §4 and EXPERIMENTS.md):
+
+* small messages are far more likely to be lost than large ones;
+* at-most-once outperforms at-least-once below the ~200-byte crossover
+  (the ack traffic contends with TCP retransmissions hardest when the
+  message rate is highest), with a gap of tens of percentage points;
+* for larger messages both curves fall below a few percent, with
+  at-least-once ahead.
+"""
+
+import pytest
+
+from repro.analysis import FigureSeries
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario
+
+from paper_targets import BENCH_MESSAGES, Criterion, measure_curve, report
+from conftest import write_report
+
+SIZES = [50, 100, 150, 200, 300, 500, 800, 1000]
+
+
+def run_fig4():
+    base = Scenario(
+        network_delay_s=0.100,
+        loss_rate=0.19,
+        message_count=BENCH_MESSAGES,
+        seed=41,
+        config=ProducerConfig(batch_size=1, message_timeout_s=1.5),
+    )
+    curves = {}
+    for semantics in (DeliverySemantics.AT_MOST_ONCE, DeliverySemantics.AT_LEAST_ONCE):
+        scenario = base.with_(config=base.config.with_(semantics=semantics))
+        curves[semantics.value] = measure_curve(
+            scenario, "message_bytes", SIZES, replications=2
+        )
+    return curves
+
+
+def test_fig4_message_size(benchmark):
+    curves = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    amo = curves["at_most_once"]
+    alo = curves["at_least_once"]
+    series = FigureSeries("Fig. 4: P_l vs message size (D=100 ms, L=19 %)",
+                          "M (bytes)", "P_l", x=list(SIZES))
+    series.add_curve("at-most-once", amo)
+    series.add_curve("at-least-once", alo)
+
+    crossover = series.crossover("at-most-once", "at-least-once")
+    small_gap = alo[1] - amo[1]  # M = 100 B
+    criteria = [
+        Criterion(
+            "small messages lose far more than large",
+            "P_l(M=50) >> P_l(M=1000), both semantics",
+            f"amo {amo[0]:.2f}→{amo[-1]:.2f}, alo {alo[0]:.2f}→{alo[-1]:.2f}",
+            amo[0] > 4 * amo[-1] and alo[0] > 4 * alo[-1],
+        ),
+        Criterion(
+            "at-most-once ahead below the crossover",
+            "P_l(alo) > P_l(amo) at M=100 (paper: ≈85% vs ≈63%)",
+            f"alo {alo[1]:.2f} vs amo {amo[1]:.2f} (gap {small_gap:+.2f})",
+            small_gap > 0,
+        ),
+        Criterion(
+            "crossover near a few hundred bytes",
+            "curves cross around M≈200 B",
+            f"measured crossover at M≈{crossover:.0f} B" if crossover else "no crossover",
+            crossover is not None and 100 <= crossover <= 500,
+        ),
+        Criterion(
+            "at-least-once ahead for large messages",
+            "P_l(alo) < P_l(amo) for M ≥ 500 B, both small",
+            f"alo {alo[-2]:.3f}/{alo[-1]:.3f} vs amo {amo[-2]:.3f}/{amo[-1]:.3f}",
+            alo[-1] < amo[-1] and alo[-2] < amo[-2] and alo[-1] < 0.1,
+        ),
+    ]
+    report("fig4_message_size", series, criteria, write_report)

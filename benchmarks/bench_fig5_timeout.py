@@ -1,0 +1,78 @@
+"""Reproduction of paper Fig. 5: P_l vs message timeout T_o.
+
+Environment: no network fault, fully loaded producer (the overload case).
+
+Paper claims (Section IV-B):
+
+* under at-most-once, T_o below ≈1500 ms causes message loss even with a
+  clean network; above it the curve reaches ≈0;
+* at-least-once significantly reduces the loss at the same T_o (its
+  response processing throttles the full-load ingest rate).
+"""
+
+import pytest
+
+from repro.analysis import FigureSeries
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario
+
+from paper_targets import BENCH_MESSAGES, Criterion, measure_curve, report
+from conftest import write_report
+
+TIMEOUTS = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0]
+
+
+def run_fig5():
+    base = Scenario(
+        message_bytes=200,
+        message_count=BENCH_MESSAGES,
+        seed=51,
+        config=ProducerConfig(batch_size=1),
+    )
+    curves = {}
+    for semantics in (DeliverySemantics.AT_MOST_ONCE, DeliverySemantics.AT_LEAST_ONCE):
+        scenario = base.with_(config=base.config.with_(semantics=semantics))
+        curves[semantics.value] = measure_curve(
+            scenario, "config.message_timeout_s", TIMEOUTS, replications=2
+        )
+    return curves
+
+
+def test_fig5_message_timeout(benchmark):
+    curves = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    amo = curves["at_most_once"]
+    alo = curves["at_least_once"]
+    series = FigureSeries("Fig. 5: P_l vs message timeout T_o (no faults, full load)",
+                          "T_o (s)", "P_l", x=list(TIMEOUTS))
+    series.add_curve("at-most-once", amo)
+    series.add_curve("at-least-once", alo)
+
+    knee_index = TIMEOUTS.index(1.5)
+    criteria = [
+        Criterion(
+            "loss at small T_o despite clean network",
+            "P_l(T_o=0.5 s) > 40 % under at-most-once",
+            f"measured {amo[1]:.2f}",
+            amo[1] > 0.30,
+        ),
+        Criterion(
+            "at-most-once curve monotonically decreasing",
+            "P_l falls as T_o grows",
+            " → ".join(f"{value:.2f}" for value in amo),
+            all(amo[i] >= amo[i + 1] - 0.02 for i in range(len(amo) - 1)),
+        ),
+        Criterion(
+            "knee near 1500 ms",
+            "P_l ≈ 0 for T_o ≥ 1.5–2 s",
+            f"P_l(1.5)={amo[knee_index]:.3f}, P_l(3.0)={amo[-1]:.3f}",
+            amo[-1] < 0.05 and amo[knee_index] < 0.35 * amo[1],
+        ),
+        Criterion(
+            "at-least-once significantly lower",
+            "alo well below amo at every T_o < knee",
+            f"alo(0.5)={alo[1]:.2f} vs amo(0.5)={amo[1]:.2f}",
+            all(alo[i] < amo[i] + 0.02 for i in range(len(TIMEOUTS)))
+            and alo[1] < 0.8 * amo[1],
+        ),
+    ]
+    report("fig5_timeout", series, criteria, write_report)

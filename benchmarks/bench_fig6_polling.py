@@ -1,0 +1,75 @@
+"""Reproduction of paper Fig. 6: P_l vs polling interval δ.
+
+Environment: no network fault, T_o = 500 ms; δ = 0 is the fully loaded
+producer, δ > 0 throttles acquisition to λ = 1/δ.
+
+Paper claims (Section IV-C):
+
+* under full load (δ = 0) the probability of message loss exceeds 45 %;
+* increasing δ effectively avoids message loss: by δ = 90 ms, P_l < 10 %;
+* the decline is monotone.
+"""
+
+import pytest
+
+from repro.analysis import FigureSeries
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario
+
+from paper_targets import BENCH_MESSAGES, Criterion, measure_curve, report
+from conftest import write_report
+
+DELTAS = [0.0, 0.01, 0.02, 0.03, 0.05, 0.07, 0.09]
+
+
+def run_fig6():
+    base = Scenario(
+        message_bytes=200,
+        message_count=BENCH_MESSAGES,
+        seed=61,
+        config=ProducerConfig(
+            semantics=DeliverySemantics.AT_MOST_ONCE,
+            batch_size=1,
+            message_timeout_s=0.5,
+        ),
+    )
+    return measure_curve(
+        base, "config.polling_interval_s", DELTAS, replications=2
+    )
+
+
+def test_fig6_polling_interval(benchmark):
+    losses = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    series = FigureSeries(
+        "Fig. 6: P_l vs polling interval δ (no faults, T_o=500 ms)",
+        "δ (ms)", "P_l", x=[delta * 1000 for delta in DELTAS],
+    )
+    series.add_curve("at-most-once", losses)
+
+    criteria = [
+        Criterion(
+            "full load loses heavily",
+            "P_l(δ=0) > 45 %",
+            f"measured {losses[0]:.2f}",
+            losses[0] > 0.35,
+        ),
+        Criterion(
+            "δ = 90 ms nearly eliminates loss",
+            "P_l(δ=90 ms) < 10 %",
+            f"measured {losses[-1]:.3f}",
+            losses[-1] < 0.10,
+        ),
+        Criterion(
+            "monotone decline",
+            "P_l decreases as δ grows",
+            " → ".join(f"{value:.2f}" for value in losses),
+            all(losses[i] >= losses[i + 1] - 0.03 for i in range(len(losses) - 1)),
+        ),
+        Criterion(
+            "large relative improvement",
+            "throttling cuts loss by >4x",
+            f"{losses[0]:.2f} → {losses[-1]:.3f}",
+            losses[0] > 4 * max(losses[-1], 1e-6) or losses[-1] < 0.02,
+        ),
+    ]
+    report("fig6_polling", series, criteria, write_report)

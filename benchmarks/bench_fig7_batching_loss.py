@@ -1,0 +1,132 @@
+"""Reproduction of paper Fig. 7: batching vs packet loss rate.
+
+Environment: fully loaded producer, T_o = 1.5 s, packet loss L swept from
+0 to 50 %, batch size B ∈ {1, 2, 4, 10}, both delivery semantics.
+
+Paper claims (Section IV-D):
+
+* TCP retransmission copes below L ≈ 8 %, above which P_l (at B = 1)
+  rises rapidly;
+* at L ≈ 13 %, moving from B = 1 to B = 2 rescues at-least-once from
+  heavy loss to a few percent (a very large relative drop);
+* larger B saves more messages at higher loss rates, with diminishing
+  returns;
+* around L = 30 % no configuration is comfortable.
+"""
+
+import pytest
+
+from repro.analysis import FigureSeries
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario, sweep
+
+from paper_targets import BENCH_MESSAGES, Criterion, report
+from conftest import write_report
+
+LOSS_RATES = [0.0, 0.03, 0.05, 0.08, 0.13, 0.20, 0.30, 0.40, 0.50]
+BATCHES = [1, 2, 4, 10]
+
+
+def run_fig7(semantics):
+    base = Scenario(
+        message_bytes=200,
+        message_count=BENCH_MESSAGES,
+        seed=71,
+        config=ProducerConfig(semantics=semantics, message_timeout_s=1.5),
+    )
+    results = sweep(
+        base,
+        {"config.batch_size": BATCHES, "loss_rate": LOSS_RATES},
+        replications=2,
+    )
+    curves = {batch: [] for batch in BATCHES}
+    index = 0
+    for batch in BATCHES:
+        for _loss in LOSS_RATES:
+            chunk = results[index : index + 2]
+            curves[batch].append(sum(r.p_loss for r in chunk) / len(chunk))
+            index += 2
+    return curves
+
+
+def test_fig7_batching_at_least_once(benchmark):
+    curves = benchmark.pedantic(
+        run_fig7, args=(DeliverySemantics.AT_LEAST_ONCE,), rounds=1, iterations=1
+    )
+    series = FigureSeries(
+        "Fig. 7 (at-least-once): P_l vs packet loss L, per batch size",
+        "L", "P_l", x=list(LOSS_RATES),
+    )
+    for batch, losses in curves.items():
+        series.add_curve(f"B={batch}", losses)
+
+    b1 = curves[1]
+    b2 = curves[2]
+    knee_8 = LOSS_RATES.index(0.08)
+    at_13 = LOSS_RATES.index(0.13)
+    rescue_factor = b1[at_13] / max(b2[at_13], 1e-4)
+    criteria = [
+        Criterion(
+            "clean network is near-lossless",
+            "P_l(L=0) ≈ 0 for every B",
+            ", ".join(f"B{b}={curves[b][0]:.3f}" for b in BATCHES),
+            all(curves[b][0] < 0.05 for b in BATCHES),
+        ),
+        Criterion(
+            "TCP copes below the ~8 % knee",
+            "P_l(B=1) small up to L≈8 %, then rises rapidly",
+            f"P_l(8%)={b1[knee_8]:.3f} vs P_l(30%)={b1[LOSS_RATES.index(0.30)]:.3f}",
+            b1[knee_8] < 0.15 and b1[LOSS_RATES.index(0.30)] > 3 * max(b1[knee_8], 0.02),
+        ),
+        Criterion(
+            "B=2 rescues at L≈13 %",
+            "paper: >80 % → <5 % (≈16x); shape target: large relative drop",
+            f"B1={b1[at_13]:.3f} → B2={b2[at_13]:.3f} ({rescue_factor:.0f}x)",
+            rescue_factor > 5 and b2[at_13] < 0.05,
+        ),
+        Criterion(
+            "larger B saves more at higher loss",
+            "P_l(B=10) <= P_l(B=2) <= P_l(B=1) at L=20-30 %",
+            ", ".join(f"B{b}={curves[b][LOSS_RATES.index(0.30)]:.3f}" for b in BATCHES),
+            curves[10][LOSS_RATES.index(0.30)] <= curves[2][LOSS_RATES.index(0.30)] + 0.03
+            and curves[2][LOSS_RATES.index(0.30)] < curves[1][LOSS_RATES.index(0.30)],
+        ),
+        Criterion(
+            "diminishing returns in B",
+            "B:1→2 helps far more than B:4→10",
+            f"Δ(1→2)={b1[at_13] - b2[at_13]:.3f}, "
+            f"Δ(4→10)={curves[4][at_13] - curves[10][at_13]:.3f}",
+            (b1[at_13] - b2[at_13])
+            > 3 * abs(curves[4][at_13] - curves[10][at_13]),
+        ),
+    ]
+    report("fig7_batching_alo", series, criteria, write_report)
+
+
+def test_fig7_batching_at_most_once(benchmark):
+    curves = benchmark.pedantic(
+        run_fig7, args=(DeliverySemantics.AT_MOST_ONCE,), rounds=1, iterations=1
+    )
+    series = FigureSeries(
+        "Fig. 7 (at-most-once): P_l vs packet loss L, per batch size",
+        "L", "P_l", x=list(LOSS_RATES),
+    )
+    for batch, losses in curves.items():
+        series.add_curve(f"B={batch}", losses)
+    b1 = curves[1]
+    at_20 = LOSS_RATES.index(0.20)
+    criteria = [
+        Criterion(
+            "same qualitative shape as at-least-once",
+            "batching reduces loss under heavy packet loss",
+            f"B1={b1[at_20]:.3f} vs B4={curves[4][at_20]:.3f} at L=20 %",
+            curves[4][at_20] < b1[at_20],
+        ),
+        Criterion(
+            "loss grows with L at B=1",
+            "monotone-ish growth",
+            " → ".join(f"{value:.2f}" for value in b1),
+            b1[-1] > b1[0] and b1[at_20] > b1[LOSS_RATES.index(0.05)],
+        ),
+    ]
+    report("fig7_batching_amo", series, criteria, write_report)

@@ -1,0 +1,103 @@
+"""Reproduction of paper Fig. 8: P_d vs batch size under at-least-once.
+
+Environment: at-least-once with retries enabled (T_o well above the
+request timeout), D = 100 ms, various packet loss rates.
+
+Paper claims (Section IV-D):
+
+* P_d can be reduced by batching (the curve falls as B grows);
+* no strong correlation between P_d and L is observed.
+
+Our duplicate mechanism (see DESIGN.md §5): spurious retries fire when a
+response is delayed past the request timeout — congestion-driven at small
+B — and when a response is lost outright; either way the broker has
+already persisted the batch, so the retry duplicates it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FigureSeries
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario, sweep
+
+from paper_targets import Criterion, report
+from conftest import write_report
+
+LOSS_RATES = [0.08, 0.13, 0.20]
+BATCHES = [1, 2, 4, 6, 10]
+
+
+def run_fig8():
+    base = Scenario(
+        message_bytes=200,
+        message_count=2500,
+        seed=81,
+        network_delay_s=0.1,
+        arrival_rate=6.0,
+        config=ProducerConfig(
+            semantics=DeliverySemantics.AT_LEAST_ONCE,
+            message_timeout_s=6.0,
+            request_timeout_s=0.9,
+            linger_s=0.3,
+        ),
+    )
+    results = sweep(
+        base,
+        {"loss_rate": LOSS_RATES, "config.batch_size": BATCHES},
+        replications=3,
+    )
+    curves = {loss: [] for loss in LOSS_RATES}
+    index = 0
+    for loss in LOSS_RATES:
+        for _batch in BATCHES:
+            chunk = results[index : index + 3]
+            curves[loss].append(sum(r.p_duplicate for r in chunk) / len(chunk))
+            index += 3
+    return curves
+
+
+def test_fig8_duplicates(benchmark):
+    curves = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    series = FigureSeries(
+        "Fig. 8: P_d vs batch size B (at-least-once, D=100 ms)",
+        "B", "P_d", x=list(BATCHES),
+    )
+    for loss, values in curves.items():
+        series.add_curve(f"L={loss:.0%}", values)
+
+    mean_over_l = [
+        float(np.mean([curves[loss][i] for loss in LOSS_RATES]))
+        for i in range(len(BATCHES))
+    ]
+    spread_over_l = [
+        float(np.std([np.mean(curves[loss]) for loss in LOSS_RATES]))
+    ][0]
+    mean_p_d = float(np.mean(mean_over_l))
+    criteria = [
+        Criterion(
+            "duplicates occur at all",
+            "P_d > 0 under at-least-once with retries",
+            f"mean P_d = {mean_p_d:.4f}",
+            mean_p_d > 0.001,
+        ),
+        Criterion(
+            "batching reduces P_d",
+            "P_d(B=10) < P_d(B=1), averaged over L",
+            f"B=1: {mean_over_l[0]:.4f} → B=10: {mean_over_l[-1]:.4f}",
+            mean_over_l[-1] < mean_over_l[0],
+        ),
+        Criterion(
+            "overall downward trend in B",
+            "first half of the curve above the second half",
+            " → ".join(f"{value:.4f}" for value in mean_over_l),
+            np.mean(mean_over_l[:2]) > np.mean(mean_over_l[-2:]),
+        ),
+        Criterion(
+            "no strong correlation with L",
+            "per-L curve means stay within a narrow band",
+            f"std of per-L means = {spread_over_l:.4f} (mean {mean_p_d:.4f})",
+            spread_over_l < max(2.0 * mean_p_d, 0.02),
+        ),
+    ]
+    report("fig8_duplicates", series, criteria, write_report)

@@ -1,0 +1,70 @@
+"""Reproduction of paper Fig. 9: the dynamic-experiment network trace.
+
+The trace draws one-way delay from a Pareto distribution (heavy upper
+tail, tens-of-milliseconds mode) and the packet loss rate from a
+Gilbert–Elliott two-state process (clean regime alternating with bursty
+10–20 % episodes).  The bench regenerates the trace, renders it, and
+verifies its statistical signature.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FigureSeries
+from repro.network import generate_paper_trace
+from repro.simulation import RngRegistry
+
+from paper_targets import Criterion, report
+from conftest import write_report
+
+
+def run_fig9():
+    rng = RngRegistry(91)
+    return generate_paper_trace(rng.stream("trace"), duration_s=600, interval_s=10)
+
+
+def test_fig9_network_trace(benchmark):
+    trace = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    series = FigureSeries(
+        "Fig. 9: network conditions over time (Pareto delay, G-E loss)",
+        "t (s)", "value", x=[p.time_s for p in trace],
+    )
+    series.add_curve("delay (s)", [p.delay_s for p in trace])
+    series.add_curve("loss rate", [p.loss_rate for p in trace])
+
+    delays = np.array([p.delay_s for p in trace])
+    losses = np.array([p.loss_rate for p in trace])
+    bad_episodes = losses > 0.10
+    # Burstiness: bad intervals should cluster (lag-1 joint probability
+    # above the independence baseline).
+    joint = np.mean(bad_episodes[1:] & bad_episodes[:-1])
+    base_rate = bad_episodes.mean()
+    criteria = [
+        Criterion(
+            "Pareto delay signature",
+            "median in tens of ms, heavy tail (p95 >> median)",
+            f"median={np.median(delays) * 1e3:.0f} ms, "
+            f"p95={np.percentile(delays, 95) * 1e3:.0f} ms",
+            0.02 <= np.median(delays) <= 0.1
+            and np.percentile(delays, 95) > 2 * np.median(delays),
+        ),
+        Criterion(
+            "loss alternates between clean and bursty regimes",
+            "both <2 % and >10 % intervals present",
+            f"clean={np.mean(losses < 0.05):.0%}, bursty={base_rate:.0%}",
+            np.mean(losses < 0.05) > 0.2 and base_rate > 0.1,
+        ),
+        Criterion(
+            "bad episodes are bursty (Gilbert–Elliott)",
+            "P(bad, bad) > P(bad)^2",
+            f"joint={joint:.3f} vs independent={base_rate ** 2:.3f}",
+            joint > base_rate**2,
+        ),
+        Criterion(
+            "trace covers the experiment duration",
+            "600 s at 10 s resolution",
+            f"{len(trace)} points, {trace.duration_s:.0f} s",
+            len(trace) == 60 and trace.duration_s == 600,
+        ),
+    ]
+    report("fig9_trace", series, criteria, write_report)

@@ -1,0 +1,98 @@
+"""Reproduction of the Section III-D feature-selection screen.
+
+"There are over 50 configurable parameters in a Kafka producer … we select
+parameters based on a sensitivity analysis.  A change in the quantitative
+parameter's default value of 50 % should have observable impact on
+reliability metrics, otherwise the parameter is neglected."
+
+The bench runs that screen in the two regimes the paper cares about —
+overload on a clean network, and a faulty network — and verifies that the
+parameters the paper selected as features come out sensitive while the
+ones it explicitly discarded (retry strategy) come out insensitive.
+"""
+
+import pytest
+
+from repro.analysis import comparison_table, render_table
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario, analyze_sensitivity
+
+from paper_targets import Criterion
+from conftest import write_report
+
+
+def run_screen():
+    overload = Scenario(
+        message_bytes=200,
+        message_count=2500,
+        seed=151,
+        config=ProducerConfig(
+            semantics=DeliverySemantics.AT_MOST_ONCE, message_timeout_s=0.6
+        ),
+    )
+    faulty = Scenario(
+        message_bytes=200,
+        message_count=2500,
+        seed=152,
+        loss_rate=0.15,
+        network_delay_s=0.1,
+        config=ProducerConfig(message_timeout_s=1.5),
+    )
+    return {
+        "overload (clean network)": analyze_sensitivity(overload),
+        "faulty network (L=15 %, D=100 ms)": analyze_sensitivity(faulty),
+    }
+
+
+def test_sensitivity_screen(benchmark):
+    reports = benchmark.pedantic(run_screen, rounds=1, iterations=1)
+
+    sections = []
+    for regime, report in reports.items():
+        rows = [["parameter", "baseline", "-50 %", "+50 %", "max ΔP"]]
+        for entry in report.ranked():
+            rows.append([
+                entry.parameter,
+                f"{entry.baseline_value:g}",
+                f"{entry.low_p_loss:.3f}",
+                f"{entry.high_p_loss:.3f}",
+                f"{entry.max_delta:.3f}",
+            ])
+        sections.append(render_table(rows, title=f"Sensitivity screen — {regime}"))
+
+    overload = reports["overload (clean network)"]
+    faulty = reports["faulty network (L=15 %, D=100 ms)"]
+    overload_selected = set(overload.selected_features())
+    faulty_selected = set(faulty.selected_features())
+    criteria = [
+        Criterion(
+            "timeout and polling govern overload",
+            "paper features (g) δ and (h) T_o sensitive in the clean regime",
+            f"selected: {sorted(overload_selected)}",
+            {"config.message_timeout_s", "config.polling_interval_s"}
+            <= overload_selected,
+        ),
+        Criterion(
+            "batching and size govern the faulty regime",
+            "paper features (a) M and (f) B sensitive under loss",
+            f"selected: {sorted(faulty_selected)}",
+            {"message_bytes", "config.batch_size"} <= faulty_selected,
+        ),
+        Criterion(
+            "retry backoff screens out",
+            "paper: retry-strategy impact not pronounced",
+            f"overload Δ={next(e.max_delta for e in overload.entries if e.parameter == 'config.retry_backoff_s'):.3f}, "
+            f"faulty Δ={next(e.max_delta for e in faulty.entries if e.parameter == 'config.retry_backoff_s'):.3f}",
+            not {"config.retry_backoff_s"} <= (overload_selected | faulty_selected)
+            or next(
+                e.max_delta for e in faulty.entries
+                if e.parameter == "config.retry_backoff_s"
+            ) < 0.1,
+        ),
+    ]
+    text = "\n\n".join(sections) + "\n\n" + comparison_table(
+        "Feature-selection criteria", [criterion.as_tuple() for criterion in criteria]
+    )
+    write_report("sensitivity", text)
+    failed = [criterion.label for criterion in criteria if not criterion.holds]
+    assert not failed, f"diverged: {failed}"

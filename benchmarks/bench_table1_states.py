@@ -1,0 +1,101 @@
+"""Reproduction of paper Table I / Fig. 2: the delivery-case census.
+
+Runs representative environments and verifies that exactly the paper's
+five cases occur, with the expected dependence on semantics:
+
+* under at-most-once only Case 1 and Case 2 are possible (no retries);
+* under at-least-once all five cases appear once the network degrades;
+* Case 1 dominates on a clean network.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.kafka.state import DeliveryCase
+from repro.testbed import Experiment, Scenario
+
+from paper_targets import Criterion
+from conftest import write_report
+from repro.analysis import comparison_table
+
+
+def census_for(semantics, loss_rate, seed=15, **config_kwargs):
+    scenario = Scenario(
+        message_bytes=150,
+        message_count=4000,
+        loss_rate=loss_rate,
+        network_delay_s=0.1 if loss_rate else 0.0,
+        seed=seed,
+        arrival_rate=6.0 if semantics.waits_for_ack else None,
+        config=ProducerConfig(
+            semantics=semantics,
+            message_timeout_s=6.0 if semantics.waits_for_ack else 1.5,
+            request_timeout_s=0.9,
+            **config_kwargs,
+        ),
+    )
+    experiment = Experiment(scenario)
+    experiment.run()
+    return experiment.tracker.census()
+
+
+def run_table1():
+    return {
+        ("at_most_once", "clean"): census_for(DeliverySemantics.AT_MOST_ONCE, 0.0),
+        ("at_most_once", "lossy"): census_for(DeliverySemantics.AT_MOST_ONCE, 0.2),
+        ("at_least_once", "clean"): census_for(DeliverySemantics.AT_LEAST_ONCE, 0.0),
+        ("at_least_once", "lossy"): census_for(DeliverySemantics.AT_LEAST_ONCE, 0.2),
+    }
+
+
+def test_table1_delivery_cases(benchmark):
+    censuses = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    rows = [["semantics", "network", *(f"case{case.value}" for case in DeliveryCase)]]
+    for (semantics, network), census in censuses.items():
+        rows.append([
+            semantics,
+            network,
+            *(f"{census.fraction(case):.3f}" for case in DeliveryCase),
+        ])
+    table = render_table(rows, title="Table I: delivery-case census")
+
+    amo_lossy = censuses[("at_most_once", "lossy")]
+    alo_lossy = censuses[("at_least_once", "lossy")]
+    alo_clean = censuses[("at_least_once", "clean")]
+    amo_cases = {case for case in DeliveryCase if amo_lossy.case_counts.get(case)}
+    criteria = [
+        Criterion(
+            "at-most-once reaches only Cases 1 and 2",
+            "no retries → no Cases 3/4/5",
+            f"observed cases: {sorted(case.value for case in amo_cases)}",
+            amo_cases <= {DeliveryCase.CASE1, DeliveryCase.CASE2},
+        ),
+        Criterion(
+            "at-least-once exhibits retry cases under loss",
+            "Cases 4 (recovery) and 5 (duplicate) observed",
+            f"case4={alo_lossy.fraction(DeliveryCase.CASE4):.4f}, "
+            f"case5={alo_lossy.fraction(DeliveryCase.CASE5):.4f}",
+            alo_lossy.case_counts.get(DeliveryCase.CASE4, 0) > 0
+            and alo_lossy.case_counts.get(DeliveryCase.CASE5, 0) > 0,
+        ),
+        Criterion(
+            "clean network is Case-1 dominated",
+            "P(Case 1) ≈ 1 without faults",
+            f"measured {alo_clean.fraction(DeliveryCase.CASE1):.3f}",
+            alo_clean.fraction(DeliveryCase.CASE1) > 0.95,
+        ),
+        Criterion(
+            "every message classified",
+            "census covers all produced messages",
+            f"unresolved={alo_lossy.unresolved}",
+            alo_lossy.unresolved == 0,
+        ),
+    ]
+    text = table + "\n\n" + comparison_table(
+        "Table I criteria", [criterion.as_tuple() for criterion in criteria]
+    )
+    write_report("table1_states", text)
+    failed = [criterion.label for criterion in criteria if not criterion.holds]
+    assert not failed, f"diverged: {failed}"

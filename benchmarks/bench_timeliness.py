@@ -1,0 +1,89 @@
+"""Message timeliness S: staleness accounting (paper Section IV-B).
+
+The paper defines a delivery as futile when the total delivery time
+``T_p = min(1/μ + D, T_o)`` exceeds the message's validity period ``S``
+("in some streaming systems only the newest data is valuable").  This
+bench sweeps S for a producer under load and verifies the staleness
+accounting that feeds the model's timeliness feature:
+
+* with S far above the delivery latency, nothing is stale;
+* as S shrinks below the latency distribution, the stale fraction climbs
+  toward the delivered fraction;
+* delivered-but-stale messages are *not* counted as lost — loss and
+  staleness are separate failure modes (the KPI weights trade them).
+"""
+
+import pytest
+
+from repro.analysis import FigureSeries, ascii_plot, comparison_table
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario, run_experiment
+
+from paper_targets import Criterion
+from conftest import write_report
+
+TIMELINESS = [0.05, 0.2, 0.5, 1.0, 2.0, 5.0]
+
+
+def run_timeliness():
+    stale, lost = [], []
+    for timeliness in TIMELINESS:
+        scenario = Scenario(
+            message_bytes=200,
+            message_count=3000,
+            timeliness_s=timeliness,
+            network_delay_s=0.1,
+            seed=141,
+            arrival_rate=8.0,
+            config=ProducerConfig(
+                semantics=DeliverySemantics.AT_LEAST_ONCE,
+                message_timeout_s=2.0,
+            ),
+        )
+        result = run_experiment(scenario)
+        stale.append(result.p_stale)
+        lost.append(result.p_loss)
+    return stale, lost
+
+
+def test_timeliness_staleness(benchmark):
+    stale, lost = benchmark.pedantic(run_timeliness, rounds=1, iterations=1)
+    series = FigureSeries(
+        "Staleness vs message timeliness S (D=100 ms, T_o=2 s)",
+        "S (s)", "fraction", x=list(TIMELINESS),
+    )
+    series.add_curve("stale", stale)
+    series.add_curve("lost", lost)
+
+    criteria = [
+        Criterion(
+            "generous S has no staleness",
+            "P_stale ≈ 0 when S >> delivery latency",
+            f"S=5 s → {stale[-1]:.3f}",
+            stale[-1] < 0.02,
+        ),
+        Criterion(
+            "strict S makes deliveries futile",
+            "P_stale large when S < typical latency",
+            f"S=50 ms → {stale[0]:.3f}",
+            stale[0] > 0.5,
+        ),
+        Criterion(
+            "staleness falls monotonically in S",
+            "longer validity → fewer futile deliveries",
+            " → ".join(f"{value:.2f}" for value in stale),
+            all(stale[i] >= stale[i + 1] - 0.02 for i in range(len(stale) - 1)),
+        ),
+        Criterion(
+            "staleness is not loss",
+            "P_l unaffected by S (separate failure modes)",
+            f"loss spread = {max(lost) - min(lost):.3f}",
+            max(lost) - min(lost) < 0.03,
+        ),
+    ]
+    text = ascii_plot(series) + "\n\n" + comparison_table(
+        "Timeliness criteria", [criterion.as_tuple() for criterion in criteria]
+    )
+    write_report("timeliness", text)
+    failed = [criterion.label for criterion in criteria if not criterion.holds]
+    assert not failed, f"diverged: {failed}"

@@ -1,0 +1,71 @@
+"""Shared reproduction helpers: run sweeps, compare against paper claims.
+
+Every figure bench builds a :class:`~repro.analysis.FigureSeries`, prints
+an ASCII rendering plus a paper-vs-measured table, saves both under
+``benchmarks/out`` and asserts the *shape* criteria from DESIGN.md §4.
+Absolute values are not asserted — the substrate is a scaled simulator,
+not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis import FigureSeries, ascii_plot, comparison_table
+from repro.testbed import ExperimentResult, Scenario, run_experiment, sweep
+
+__all__ = [
+    "measure_curve",
+    "report",
+    "Criterion",
+    "BENCH_MESSAGES",
+]
+
+#: Messages per experiment in the figure benches.
+BENCH_MESSAGES = 4000
+
+
+class Criterion:
+    """One paper claim with its measured value and verdict."""
+
+    def __init__(self, label: str, paper: str, measured: str, holds: bool) -> None:
+        self.label = label
+        self.paper = paper
+        self.measured = measured
+        self.holds = holds
+
+    def as_tuple(self) -> Tuple[str, str, str, bool]:
+        return (self.label, self.paper, self.measured, self.holds)
+
+
+def measure_curve(
+    base: Scenario,
+    axis: str,
+    values: Sequence,
+    metric: str = "p_loss",
+    replications: int = 1,
+) -> List[float]:
+    """Sweep one axis and return the metric per point (averaged)."""
+    results = sweep(base, {axis: list(values)}, replications=replications)
+    per_point = len(results) // len(values)
+    curve: List[float] = []
+    for index in range(len(values)):
+        chunk = results[index * per_point : (index + 1) * per_point]
+        curve.append(sum(getattr(r, metric) for r in chunk) / len(chunk))
+    return curve
+
+
+def report(
+    name: str,
+    series: FigureSeries,
+    criteria: Sequence[Criterion],
+    write_report,
+) -> None:
+    """Render, save and assert one figure reproduction."""
+    table = comparison_table(f"{series.title} — paper vs measured", [
+        criterion.as_tuple() for criterion in criteria
+    ])
+    text = ascii_plot(series) + "\n\n" + table
+    write_report(name, text)
+    failed = [criterion.label for criterion in criteria if not criterion.holds]
+    assert not failed, f"shape criteria diverged: {failed}"

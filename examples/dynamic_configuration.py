@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Dynamic configuration over an unstable network (paper Section V).
+
+End-to-end reproduction of the Table II experiment at example scale:
+
+1. generate the Fig. 9 network trace (Pareto delay, Gilbert–Elliott loss),
+2. train a quick reliability predictor on testbed data,
+3. let the controller generate an offline configuration file per stream,
+4. replay the trace under the default and the dynamic policy, and
+5. report the Eq. 3 overall rates R_l and R_d side by side.
+
+Run with::
+
+    python examples/dynamic_configuration.py
+"""
+
+import sys
+
+from repro.analysis import ascii_plot, FigureSeries, render_table
+from repro.kafka import DEFAULT_PRODUCER_CONFIG
+from repro.kpi import (
+    DynamicConfigurationController,
+    KpiWeights,
+    run_traced_experiment,
+)
+from repro.models import TrainingSettings, train_reliability_model
+from repro.network import generate_paper_trace
+from repro.performance import ProducerPerformanceModel
+from repro.simulation import RngRegistry
+from repro.testbed import Scenario, abnormal_case_plan, normal_case_plan
+from repro.workloads import PAPER_STREAMS
+
+
+def main() -> None:
+    rng = RngRegistry(2026)
+    trace = generate_paper_trace(rng.stream("trace"), duration_s=240, interval_s=10)
+    print("Network trace (Fig. 9 style):")
+    series = FigureSeries("one-way delay / loss rate over time", "t (s)", "value",
+                          x=[p.time_s for p in trace])
+    series.add_curve("delay (s)", [p.delay_s for p in trace])
+    series.add_curve("loss rate", [p.loss_rate for p in trace])
+    print(ascii_plot(series, width=64, height=12))
+
+    print("\nTraining a quick reliability predictor...")
+    base = Scenario(message_count=1200)
+    report = train_reliability_model(
+        plans=[
+            normal_case_plan(base=base, max_rows=40),
+            abnormal_case_plan(base=base, max_rows=80),
+        ],
+        settings=TrainingSettings(hidden=(64, 32), epochs=200,
+                                  learning_rate=0.3, patience=50),
+        progress=lambda i, n, s: (
+            sys.stdout.write(f"\r  experiment {i + 1}/{n}"), sys.stdout.flush()
+        ),
+    )
+    print(f"\r  done — hold-out MAE {report.overall_mae:.4f}")
+
+    performance_model = ProducerPerformanceModel()
+    rows = [["stream", "policy", "R_l", "R_d", "stale"]]
+    for stream in PAPER_STREAMS:
+        controller = DynamicConfigurationController(
+            report.predictor,
+            performance_model,
+            weights=KpiWeights.of(stream.kpi_weights),
+            gamma_requirement=0.95,
+            reconfig_interval_s=60.0,
+        )
+        plan = controller.generate_plan(trace, stream)
+        for policy, kwargs in [
+            ("default", dict(static_config=DEFAULT_PRODUCER_CONFIG)),
+            ("dynamic", dict(plan=plan)),
+        ]:
+            outcome = run_traced_experiment(
+                trace, stream, messages_cap_per_interval=250, **kwargs
+            )
+            rows.append([
+                stream.name,
+                policy,
+                f"{outcome.rates.r_loss:.2%}",
+                f"{outcome.rates.r_duplicate:.2%}",
+                f"{outcome.mean_stale_fraction:.2%}",
+            ])
+    print()
+    print(render_table(rows, title="Table II (example scale): default vs dynamic"))
+    print(
+        "\nThe dynamic policy reads the (assumed known) network state every"
+        "\n60 s, searches configurations stepwise until the predicted weighted"
+        "\nKPI meets the requirement, and restarts the producer with the new"
+        "\nparameters — the paper's offline configuration-file scheme."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fault-injection tour: NetEm-style faults and broker failures.
+
+Demonstrates the testbed's fault surface beyond the paper's evaluation:
+
+* mid-run network degradation and recovery (NetEm reconfiguration),
+* bursty Gilbert–Elliott loss vs independent loss at the same rate,
+* broker crash with leader failover (the paper's future-work scenario).
+
+Run with::
+
+    python examples/failure_injection.py
+"""
+
+from repro.analysis import render_table
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.network import NetworkFault
+from repro.testbed import Experiment, Scenario
+
+
+BASE = Scenario(
+    message_bytes=200,
+    message_count=3000,
+    seed=33,
+    arrival_rate=25.0,
+    config=ProducerConfig(
+        semantics=DeliverySemantics.AT_LEAST_ONCE,
+        message_timeout_s=1.5,
+    ),
+)
+
+
+def run_with_midrun_fault() -> tuple:
+    """Clean start, 19 % loss injected for the middle third of the run."""
+    experiment = Experiment(BASE)
+    experiment.injector.inject_at(40.0, NetworkFault(delay_s=0.1, loss_rate=0.19))
+    experiment.injector.clear_at(80.0)
+    result = experiment.run()
+    return result.p_loss, result.p_duplicate
+
+
+def run_with_loss(bursty: bool) -> tuple:
+    scenario = BASE.with_(loss_rate=0.15, bursty_loss=bursty)
+    experiment = Experiment(scenario)
+    result = experiment.run()
+    return result.p_loss, result.p_duplicate
+
+
+def run_with_broker_crash(failover: bool) -> tuple:
+    experiment = Experiment(BASE)
+    experiment.injector.crash_broker_at(30.0, "broker-0")
+    if not failover:
+        # Crash every broker: nothing can lead the partitions.
+        experiment.injector.crash_broker_at(30.0, "broker-1")
+        experiment.injector.crash_broker_at(30.0, "broker-2")
+    result = experiment.run()
+    return result.p_loss, result.p_duplicate
+
+
+def main() -> None:
+    rows = [["fault scenario", "P_l", "P_d"]]
+    for label, (p_loss, p_duplicate) in [
+        ("19 % loss injected mid-run, then cleared", run_with_midrun_fault()),
+        ("15 % independent (Bernoulli) loss", run_with_loss(bursty=False)),
+        ("15 % bursty (Gilbert–Elliott) loss", run_with_loss(bursty=True)),
+        ("broker-0 crash with leader failover", run_with_broker_crash(True)),
+        ("all brokers crash at t=30 s", run_with_broker_crash(False)),
+    ]:
+        rows.append([label, f"{p_loss:.2%}", f"{p_duplicate:.3%}"])
+    print(render_table(rows, title="Fault injection tour (at-least-once, T_o=1.5 s)"))
+    print(
+        "\nNotes: bursty loss at the same average rate concentrates failures"
+        "\ninto episodes the retry budget cannot ride out, so it usually hurts"
+        "\nmore than independent loss; a single broker crash is absorbed by"
+        "\nleader failover, while losing the whole cluster loses everything"
+        "\nfrom the crash onward."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: measure Kafka producer reliability on the simulated testbed.
+
+Reproduces the paper's core measurement loop in a few lines: define the
+application scenario (message size M, network condition D/L, producer
+configuration), run it against a fresh simulated Kafka cluster, and read
+the two reliability metrics — the probability of message loss ``P_l`` and
+the probability of message duplication ``P_d``.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis import render_table
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario, run_experiment
+
+
+def main() -> None:
+    print("Kafka reliability testbed — quickstart\n")
+
+    # A producer streaming 200-byte messages at full load over a healthy
+    # network, with at-least-once delivery and a 1.5 s delivery timeout.
+    healthy = Scenario(
+        message_bytes=200,
+        message_count=3000,
+        network_delay_s=0.0,
+        loss_rate=0.0,
+        seed=7,
+        config=ProducerConfig(
+            semantics=DeliverySemantics.AT_LEAST_ONCE,
+            batch_size=1,
+            message_timeout_s=1.5,
+        ),
+    )
+
+    # The same application after NetEm injects a 100 ms delay and 19 %
+    # packet loss — the paper's Fig. 4 environment.
+    degraded = healthy.with_(network_delay_s=0.100, loss_rate=0.19)
+
+    # The paper's first remedy: batch messages before sending.
+    batched = degraded.with_(config=degraded.config.with_(batch_size=5))
+
+    rows = [["scenario", "P_l", "P_d", "throughput (msg/s)", "cases"]]
+    for name, scenario in [
+        ("healthy network", healthy),
+        ("D=100 ms, L=19 %", degraded),
+        ("same + batch B=5", batched),
+    ]:
+        result = run_experiment(scenario)
+        cases = ", ".join(
+            f"{case}={fraction:.1%}" for case, fraction in sorted(result.case_fractions.items())
+        )
+        rows.append(
+            [
+                name,
+                f"{result.p_loss:.3f}",
+                f"{result.p_duplicate:.4f}",
+                f"{result.throughput_msgs_per_s:.1f}",
+                cases,
+            ]
+        )
+    print(render_table(rows, title="Measured reliability (consumer reconciliation)"))
+    print(
+        "\nEvery message carries an incremental unique key; after the run the"
+        "\nconsumer reads the whole topic back and the keys are reconciled"
+        "\nagainst the source — exactly the paper's methodology (Sec. III-E)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reproduction of "Learning to Reliably Deliver Streaming Data with
+Apache Kafka" (Wu, Shang & Wolter, DSN 2020).
+
+The package is organised bottom-up:
+
+* :mod:`repro.simulation` — deterministic discrete-event kernel.
+* :mod:`repro.network` — link, latency/loss models, TCP-like transport,
+  NetEm-style fault injection and Fig. 9 traces.
+* :mod:`repro.kafka` — producer/broker/consumer substrate and the Fig. 2
+  message state machine.
+* :mod:`repro.workloads` — arrival processes and the Table II streams.
+* :mod:`repro.testbed` — experiment harness, sweeps and the Fig. 3
+  training-data collection.
+* :mod:`repro.ann` — from-scratch numpy neural-network framework.
+* :mod:`repro.models` — the reliability predictor (Eq. 1), the paper's
+  primary contribution.
+* :mod:`repro.performance` — the HPCC'19 performance model (φ, μ).
+* :mod:`repro.kpi` — weighted KPI (Eq. 2), configuration selection,
+  dynamic configuration and Eq. 3 aggregation.
+* :mod:`repro.analysis` — figure/table rendering for the benches.
+
+Quick start::
+
+    from repro.testbed import Scenario, run_experiment
+    result = run_experiment(Scenario(message_bytes=200, loss_rate=0.13))
+    print(result.p_loss, result.p_duplicate)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

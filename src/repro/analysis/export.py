@@ -1,0 +1,53 @@
+"""Export figure series and results for external plotting tools.
+
+The benches render ASCII, but downstream users typically want the raw
+series for matplotlib/gnuplot; these helpers write CSV and JSON forms.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..testbed.results import ExperimentResult
+from .series import FigureSeries
+
+__all__ = ["series_to_csv", "series_to_json", "results_to_json"]
+
+
+def series_to_csv(series: FigureSeries, path: "str | Path") -> Path:
+    """Write one figure's data as CSV (x column + one column per curve)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row in series.to_rows():
+            writer.writerow(row)
+    return path
+
+
+def series_to_json(series: FigureSeries, path: "str | Path") -> Path:
+    """Write one figure's data and axis metadata as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "title": series.title,
+        "x_label": series.x_label,
+        "y_label": series.y_label,
+        "x": list(series.x),
+        "curves": {label: list(values) for label, values in series.curves.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def results_to_json(results: Iterable[ExperimentResult], path: "str | Path") -> Path:
+    """Write a list of experiment results as a JSON array."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps([result.to_dict() for result in results], indent=2)
+    )
+    return path

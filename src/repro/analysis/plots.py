@@ -1,0 +1,61 @@
+"""ASCII line plots for terminal inspection of figure series.
+
+Keeps the reproduction self-contained: no plotting library is available
+offline, and the bench output should still let a reader eyeball the shape
+of each reproduced figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .series import FigureSeries
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: FigureSeries,
+    width: int = 72,
+    height: int = 18,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render every curve of ``series`` into one character grid."""
+    if width < 16 or height < 6:
+        raise ValueError("plot too small to be legible")
+    if not series.x or not series.curves:
+        raise ValueError("nothing to plot")
+    xs = series.x
+    all_y = [value for curve in series.curves.values() for value in curve]
+    lo = min(all_y) if y_min is None else y_min
+    hi = max(all_y) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for curve_index, (label, values) in enumerate(series.curves.items()):
+        marker = _MARKERS[curve_index % len(_MARKERS)]
+        for x_value, y_value in zip(xs, values):
+            column = int(round((x_value - x_lo) / x_span * (width - 1)))
+            clipped = min(max(y_value, lo), hi)
+            row = int(round((clipped - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+    lines: List[str] = [f"{series.title}"]
+    for row_index, row in enumerate(grid):
+        y_axis_value = hi - (hi - lo) * row_index / (height - 1)
+        lines.append(f"{y_axis_value:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{x_lo:<12g}{series.x_label:^{max(0, width - 24)}}{x_hi:>12g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(series.curves)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Figure-series containers: the x-axis and named curves of one figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["FigureSeries"]
+
+
+@dataclass
+class FigureSeries:
+    """The data behind one paper figure.
+
+    Attributes
+    ----------
+    title:
+        Figure caption ("Fig. 4: P_l vs message size").
+    x_label / y_label:
+        Axis labels.
+    x:
+        Shared x values.
+    curves:
+        Curve label → y values (len must match ``x``).
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    x: List[float] = field(default_factory=list)
+    curves: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_curve(self, label: str, values: Sequence[float]) -> None:
+        """Attach a curve; length must match the x axis."""
+        values = list(values)
+        if len(values) != len(self.x):
+            raise ValueError(
+                f"curve {label!r} has {len(values)} points for {len(self.x)} x values"
+            )
+        self.curves[label] = values
+
+    def curve(self, label: str) -> List[float]:
+        """Fetch a curve by label."""
+        return self.curves[label]
+
+    def crossover(self, label_a: str, label_b: str) -> Optional[float]:
+        """x position where curve a crosses curve b (linear interpolation).
+
+        Returns None when the curves never cross.
+        """
+        a, b = self.curves[label_a], self.curves[label_b]
+        for i in range(1, len(self.x)):
+            d0 = a[i - 1] - b[i - 1]
+            d1 = a[i] - b[i]
+            if d0 == 0.0:
+                return float(self.x[i - 1])
+            if d0 * d1 < 0:
+                fraction = abs(d0) / (abs(d0) + abs(d1))
+                return float(self.x[i - 1] + fraction * (self.x[i] - self.x[i - 1]))
+        return None
+
+    def to_rows(self) -> List[List[str]]:
+        """Tabular form: header row then one row per x value."""
+        header = [self.x_label, *self.curves.keys()]
+        rows = [header]
+        for index, x_value in enumerate(self.x):
+            row = [f"{x_value:g}"]
+            row.extend(f"{self.curves[label][index]:.4f}" for label in self.curves)
+            rows.append(row)
+        return rows

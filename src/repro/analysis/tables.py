@@ -1,0 +1,49 @@
+"""Monospace tables for bench output (paper-vs-measured reporting)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "comparison_table"]
+
+
+def render_table(rows: Sequence[Sequence[str]], title: Optional[str] = None) -> str:
+    """Render rows (first row = header) as an aligned text table."""
+    if not rows:
+        raise ValueError("no rows to render")
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(str(cell)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    for index, row in enumerate(rows):
+        padded = [str(cell).ljust(widths[col]) for col, cell in enumerate(row)]
+        lines.append(" | ".join(padded))
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def comparison_table(
+    title: str,
+    entries: Sequence[tuple],
+) -> str:
+    """Render (label, paper_claim, measured, verdict) comparison rows.
+
+    The standard bench epilogue: every reproduction target printed beside
+    what we measured and whether the shape criterion held.
+    """
+    rows: List[List[str]] = [["criterion", "paper", "measured", "verdict"]]
+    for label, paper, measured, holds in entries:
+        rows.append(
+            [
+                str(label),
+                str(paper),
+                str(measured),
+                "OK" if holds else "DIVERGES",
+            ]
+        )
+    return render_table(rows, title=title)

@@ -1,0 +1,31 @@
+"""A from-scratch neural-network framework on numpy.
+
+Re-implements what the paper built in a deep-learning framework: dense
+layers, standard activations, MSE/MAE losses, SGD/Momentum/Adam, scalers,
+train/test utilities and model persistence.  ``build_mlp`` constructs the
+paper's 200/200/200/64 topology.
+"""
+
+from .activations import ACTIVATIONS, Activation, Identity, Relu, Sigmoid, Tanh, get_activation
+from .data import iterate_minibatches, train_test_split
+from .layers import Dense, Layer
+from .losses import HuberLoss, LOSSES, Loss, MAELoss, MSELoss, get_loss
+from .metrics import mae, max_error, r2_score, rmse
+from .network import PAPER_HIDDEN_LAYERS, Sequential, TrainingHistory, build_mlp
+from .optimizers import Adam, Momentum, Optimizer, SGD, get_optimizer
+from .scaling import MinMaxScaler, StandardScaler
+from .serialize import load_model, save_model
+from .tensor import INITIALIZERS, Parameter, glorot_uniform, he_normal, zeros_init
+
+__all__ = [
+    "Activation", "Relu", "Sigmoid", "Tanh", "Identity", "ACTIVATIONS", "get_activation",
+    "train_test_split", "iterate_minibatches",
+    "Layer", "Dense",
+    "Loss", "MSELoss", "MAELoss", "HuberLoss", "LOSSES", "get_loss",
+    "mae", "rmse", "r2_score", "max_error",
+    "Sequential", "TrainingHistory", "build_mlp", "PAPER_HIDDEN_LAYERS",
+    "Optimizer", "SGD", "Momentum", "Adam", "get_optimizer",
+    "StandardScaler", "MinMaxScaler",
+    "save_model", "load_model",
+    "Parameter", "glorot_uniform", "he_normal", "zeros_init", "INITIALIZERS",
+]

@@ -1,0 +1,94 @@
+"""Activation functions and their derivatives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Activation", "Relu", "Sigmoid", "Tanh", "Identity", "ACTIVATIONS", "get_activation"]
+
+
+class Activation:
+    """An elementwise nonlinearity ``f`` with derivative ``f'``.
+
+    ``derivative`` receives the *output* of ``apply`` where that is cheaper
+    (sigmoid/tanh), so subclasses document which of input/output they use.
+    """
+
+    name = "base"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``f(x)``."""
+        raise NotImplementedError
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Compute ``f'`` given input ``x`` and cached output ``y``."""
+        raise NotImplementedError
+
+
+class Relu(Activation):
+    """Rectified linear unit."""
+
+    name = "relu"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return (x > 0.0).astype(x.dtype)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid; keeps regression outputs inside (0, 1)."""
+
+    name = "sigmoid"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        return out
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return y * (1.0 - y)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return 1.0 - y * y
+
+
+class Identity(Activation):
+    """Linear pass-through (regression output layers)."""
+
+    name = "identity"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return np.ones_like(x)
+
+
+#: Name → activation registry (used by serialisation).
+ACTIVATIONS = {cls.name: cls for cls in (Relu, Sigmoid, Tanh, Identity)}
+
+
+def get_activation(name: "str | Activation") -> Activation:
+    """Resolve an activation by name or pass an instance through."""
+    if isinstance(name, Activation):
+        return name
+    try:
+        return ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; expected one of {sorted(ACTIVATIONS)}"
+        ) from None

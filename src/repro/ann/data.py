@@ -1,0 +1,50 @@
+"""Dataset utilities: splitting and minibatching."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["train_test_split", "iterate_minibatches"]
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into ``(x_train, x_test, y_train, y_test)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y row counts differ")
+    if x.shape[0] < 2:
+        raise ValueError("need at least two samples to split")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    order = rng.permutation(x.shape[0])
+    cut = max(1, int(round(x.shape[0] * (1.0 - test_fraction))))
+    cut = min(cut, x.shape[0] - 1)
+    train_index, test_index = order[:cut], order[cut:]
+    return x[train_index], x[test_index], y[train_index], y[test_index]
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield shuffled ``(x_batch, y_batch)`` pairs covering the data once."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    count = x.shape[0]
+    order = (
+        rng.permutation(count) if rng is not None else np.arange(count)
+    )
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        yield x[index], y[index]

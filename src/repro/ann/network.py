@@ -1,0 +1,196 @@
+"""The sequential MLP and its training loop.
+
+:func:`build_mlp` constructs the paper's topology — four hidden layers of
+200, 200, 200 and 64 neurons — and :meth:`Sequential.fit` runs minibatch
+training with optional validation-based early stopping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .data import iterate_minibatches
+from .layers import Dense, Layer
+from .losses import Loss, get_loss
+from .optimizers import Optimizer, get_optimizer
+from .tensor import Parameter
+
+__all__ = ["TrainingHistory", "Sequential", "build_mlp", "PAPER_HIDDEN_LAYERS"]
+
+#: The paper's hidden-layer widths (Section III-G).
+PAPER_HIDDEN_LAYERS: Tuple[int, ...] = (200, 200, 200, 64)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training record."""
+
+    train_loss: List[float] = field(default_factory=list)
+    validation_loss: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+
+class Sequential:
+    """A stack of layers trained with backpropagation."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.layers = list(layers)
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters, input to output."""
+        out: List[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.parameters())
+        return out
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the network on a batch (rows = samples)."""
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward pass."""
+        return self.forward(x, training=False)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate a loss gradient through every layer."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, loss: "str | Loss" = "mse") -> float:
+        """Loss of the current network on ``(x, y)``."""
+        loss_fn = get_loss(loss)
+        value, _ = loss_fn.value_and_grad(self.predict(x), np.asarray(y, dtype=np.float64))
+        return value
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1000,
+        batch_size: int = 32,
+        optimizer: "str | Optimizer" = "sgd",
+        loss: "str | Loss" = "mse",
+        validation: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        patience: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        verbose_every: Optional[int] = None,
+        weight_decay: float = 0.0,
+    ) -> TrainingHistory:
+        """Minibatch training.
+
+        Parameters
+        ----------
+        epochs:
+            Maximum passes over the data (the paper uses 1000).
+        batch_size:
+            Minibatch size.
+        optimizer / loss:
+            Names or instances (paper: SGD, learning rate 0.5, MSE).
+        validation:
+            Optional ``(x_val, y_val)`` evaluated each epoch.
+        patience:
+            Early-stop after this many epochs without validation
+            improvement (requires ``validation``).
+        rng:
+            Shuffling source; fixed seed → identical training run.
+        verbose_every:
+            Print progress every N epochs when set.
+        weight_decay:
+            L2 penalty coefficient added to every weight gradient (0
+            disables regularisation; biases are not decayed).
+        """
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if patience is not None and validation is None:
+            raise ValueError("patience requires a validation set")
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must be 2-D with matching row counts")
+        optimizer = get_optimizer(optimizer)
+        loss_fn = get_loss(loss)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        history = TrainingHistory()
+        best_val = np.inf
+        best_weights: Optional[List[np.ndarray]] = None
+        stale = 0
+        parameters = self.parameters()
+        for epoch in range(epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for xb, yb in iterate_minibatches(x, y, batch_size, rng):
+                predicted = self.forward(xb, training=True)
+                value, grad = loss_fn.value_and_grad(predicted, yb)
+                self.backward(grad)
+                if weight_decay > 0.0:
+                    for layer in self.layers:
+                        weight = getattr(layer, "weight", None)
+                        if weight is not None:
+                            weight.grad += weight_decay * weight.value
+                optimizer.step(parameters)
+                epoch_loss += value
+                batches += 1
+            history.train_loss.append(epoch_loss / max(1, batches))
+            if validation is not None:
+                val = self.evaluate(validation[0], validation[1], loss_fn)
+                history.validation_loss.append(val)
+                if val < best_val - 1e-9:
+                    best_val = val
+                    best_weights = [p.value.copy() for p in parameters]
+                    stale = 0
+                else:
+                    stale += 1
+                    if patience is not None and stale > patience:
+                        history.stopped_early = True
+                        break
+            if verbose_every is not None and (epoch + 1) % verbose_every == 0:
+                val_text = (
+                    f" val={history.validation_loss[-1]:.5f}"
+                    if history.validation_loss
+                    else ""
+                )
+                print(f"epoch {epoch + 1}: loss={history.train_loss[-1]:.5f}{val_text}")
+        if best_weights is not None:
+            for parameter, weights in zip(parameters, best_weights):
+                parameter.value = weights
+        return history
+
+
+def build_mlp(
+    input_dim: int,
+    output_dim: int,
+    hidden: Sequence[int] = PAPER_HIDDEN_LAYERS,
+    hidden_activation: str = "relu",
+    output_activation: str = "sigmoid",
+    seed: int = 0,
+) -> Sequential:
+    """Build the paper's fully-connected architecture.
+
+    The sigmoid output keeps predicted probabilities inside (0, 1) — the
+    corner case the paper worries about ("P̂_l or P̂_d become negative").
+    """
+    if input_dim < 1 or output_dim < 1:
+        raise ValueError("input_dim and output_dim must be positive")
+    rng = np.random.default_rng(seed)
+    widths = [input_dim, *hidden]
+    layers: List[Layer] = [
+        Dense(width_in, width_out, hidden_activation, rng)
+        for width_in, width_out in zip(widths[:-1], widths[1:])
+    ]
+    layers.append(Dense(widths[-1], output_dim, output_activation, rng))
+    return Sequential(layers)

@@ -1,0 +1,65 @@
+"""Parameters and weight initialisers for the numpy ANN framework.
+
+Only numpy is available offline, so the paper's TensorFlow model is
+re-implemented from scratch; a :class:`Parameter` couples a value array
+with its gradient accumulator, and the initialisers cover the standard
+fan-based schemes used for small fully-connected regression networks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = ["Parameter", "glorot_uniform", "he_normal", "zeros_init", "INITIALIZERS"]
+
+
+class Parameter:
+    """A trainable array with an accompanying gradient buffer."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name or 'unnamed'}, shape={self.shape})"
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation — the right default for
+    tanh/sigmoid hidden layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialisation — the right default for ReLU layers."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+
+
+def zeros_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros((fan_in, fan_out))
+
+
+#: Name → initialiser registry (used by serialisation).
+INITIALIZERS: dict = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros_init,
+}

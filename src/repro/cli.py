@@ -1,0 +1,220 @@
+"""Command-line interface for the reproduction toolkit.
+
+Three subcommands cover the paper's workflow:
+
+``repro experiment``
+    Run one testbed experiment and print the measured reliability.
+``repro train``
+    Collect Fig. 3 training data, train the ANN predictor, report MAE and
+    optionally persist the model to a registry directory.
+``repro dynamic``
+    Generate a Fig. 9 trace, build the offline configuration plan with a
+    stored (or freshly trained) model, replay default vs dynamic policies
+    and print the Table II-style rates.
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import render_table
+from .kafka import DEFAULT_PRODUCER_CONFIG, DeliverySemantics, ProducerConfig
+from .kpi import DynamicConfigurationController, KpiWeights, run_traced_experiment
+from .models import ModelRegistry, TrainingSettings, train_reliability_model
+from .network import generate_paper_trace
+from .performance import ProducerPerformanceModel
+from .simulation import RngRegistry
+from .testbed import Scenario, abnormal_case_plan, normal_case_plan, run_experiment
+from .workloads import PAPER_STREAMS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSN'20 Kafka-reliability reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one testbed experiment and print P_l / P_d"
+    )
+    experiment.add_argument("--message-bytes", type=int, default=200, metavar="M")
+    experiment.add_argument("--delay-ms", type=float, default=0.0, metavar="D")
+    experiment.add_argument("--loss", type=float, default=0.0, metavar="L")
+    experiment.add_argument(
+        "--semantics",
+        choices=[member.value for member in DeliverySemantics],
+        default="at_least_once",
+    )
+    experiment.add_argument("--batch-size", type=int, default=1, metavar="B")
+    experiment.add_argument("--polling-ms", type=float, default=0.0, metavar="DELTA")
+    experiment.add_argument("--timeout-s", type=float, default=1.5, metavar="T_O")
+    experiment.add_argument("--messages", type=int, default=5000, metavar="N")
+    experiment.add_argument("--seed", type=int, default=1)
+    experiment.add_argument("--bursty-loss", action="store_true")
+
+    train = sub.add_parser("train", help="collect data and train the predictor")
+    train.add_argument("--messages", type=int, default=2000,
+                       help="messages per collection experiment")
+    train.add_argument("--normal-rows", type=int, default=60)
+    train.add_argument("--abnormal-rows", type=int, default=90)
+    train.add_argument("--epochs", type=int, default=300)
+    train.add_argument("--paper-topology", action="store_true",
+                       help="use the paper's 200/200/200/64 hidden layers")
+    train.add_argument("--registry", metavar="DIR",
+                       help="persist the trained model under this directory")
+    train.add_argument("--name", default="reliability",
+                       help="model name inside the registry")
+
+    dynamic = sub.add_parser(
+        "dynamic", help="default-vs-dynamic configuration over a trace"
+    )
+    dynamic.add_argument("--registry", metavar="DIR",
+                         help="load the predictor from this registry")
+    dynamic.add_argument("--name", default="reliability")
+    dynamic.add_argument("--duration", type=float, default=300.0,
+                         help="trace duration in seconds")
+    dynamic.add_argument("--interval", type=float, default=10.0,
+                         help="trace resolution in seconds")
+    dynamic.add_argument("--reconfigure-every", type=float, default=60.0)
+    dynamic.add_argument("--gamma", type=float, default=0.95,
+                         help="KPI requirement for the stepwise search")
+    dynamic.add_argument("--cap", type=int, default=300,
+                         help="max messages per measured interval")
+    dynamic.add_argument("--seed", type=int, default=2020)
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        message_bytes=args.message_bytes,
+        network_delay_s=args.delay_ms / 1000.0,
+        loss_rate=args.loss,
+        message_count=args.messages,
+        seed=args.seed,
+        bursty_loss=args.bursty_loss,
+        config=ProducerConfig(
+            semantics=DeliverySemantics.parse(args.semantics),
+            batch_size=args.batch_size,
+            polling_interval_s=args.polling_ms / 1000.0,
+            message_timeout_s=args.timeout_s,
+        ),
+    )
+    result = run_experiment(scenario)
+    low, high = result.p_loss_ci
+    rows = [
+        ["metric", "value"],
+        ["P_l (loss)", f"{result.p_loss:.4f}  (95% CI {low:.4f}-{high:.4f})"],
+        ["P_d (duplicate)", f"{result.p_duplicate:.4f}"],
+        ["stale fraction", f"{result.p_stale:.4f}"],
+        ["throughput", f"{result.throughput_msgs_per_s:.1f} msg/s"],
+        ["simulated time", f"{result.simulated_duration_s:.1f} s"],
+    ]
+    for case, fraction in sorted(result.case_fractions.items()):
+        rows.append([f"Table I {case}", f"{fraction:.4f}"])
+    print(render_table(rows, title="Experiment result"))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    base = Scenario(message_count=args.messages)
+    plans = [
+        normal_case_plan(base=base, max_rows=args.normal_rows),
+        abnormal_case_plan(base=base, max_rows=args.abnormal_rows),
+    ]
+    settings = (
+        TrainingSettings(epochs=args.epochs)
+        if args.paper_topology
+        else TrainingSettings(
+            hidden=(96, 48), epochs=args.epochs, learning_rate=0.3, patience=80
+        )
+    )
+
+    def progress(index: int, total: int, scenario) -> None:
+        if index % 10 == 0:
+            sys.stdout.write(f"\rcollecting {index + 1}/{total}...")
+            sys.stdout.flush()
+
+    report = train_reliability_model(plans=plans, settings=settings, progress=progress)
+    print(f"\rcollected {report.train_rows + report.test_rows} rows")
+    rows = [["submodel", "rows"]]
+    for key, count in sorted(report.submodel_rows.items()):
+        rows.append([f"{key[0]}/{key[1]}", str(count)])
+    print(render_table(rows))
+    print(f"hold-out MAE: {report.mae_report} (paper target: < 0.02)")
+    if args.registry:
+        path = ModelRegistry(args.registry).save(args.name, report.predictor)
+        print(f"model saved to {path}")
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    if args.registry:
+        predictor = ModelRegistry(args.registry).load(args.name)
+    else:
+        print("no --registry given; training a quick model first...")
+        base = Scenario(message_count=1200)
+        report = train_reliability_model(
+            plans=[
+                normal_case_plan(base=base, max_rows=40),
+                abnormal_case_plan(base=base, max_rows=70),
+            ],
+            settings=TrainingSettings(
+                hidden=(64, 32), epochs=200, learning_rate=0.3, patience=50
+            ),
+        )
+        predictor = report.predictor
+        print(f"quick model MAE: {report.overall_mae:.4f}")
+    rng = RngRegistry(args.seed)
+    trace = generate_paper_trace(
+        rng.stream("trace"), duration_s=args.duration, interval_s=args.interval
+    )
+    performance_model = ProducerPerformanceModel()
+    rows = [["stream", "policy", "R_l", "R_d"]]
+    for stream in PAPER_STREAMS:
+        controller = DynamicConfigurationController(
+            predictor,
+            performance_model,
+            weights=KpiWeights.of(stream.kpi_weights),
+            gamma_requirement=args.gamma,
+            reconfig_interval_s=args.reconfigure_every,
+        )
+        plan = controller.generate_plan(trace, stream)
+        for policy, kwargs in [
+            ("default", dict(static_config=DEFAULT_PRODUCER_CONFIG)),
+            ("dynamic", dict(plan=plan)),
+        ]:
+            outcome = run_traced_experiment(
+                trace, stream, messages_cap_per_interval=args.cap,
+                seed=args.seed, **kwargs,
+            )
+            rows.append([
+                stream.name, policy,
+                f"{outcome.rates.r_loss:.2%}",
+                f"{outcome.rates.r_duplicate:.3%}",
+            ])
+    print(render_table(rows, title="Table II-style comparison"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "train": _cmd_train,
+        "dynamic": _cmd_dynamic,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

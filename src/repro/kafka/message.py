@@ -1,0 +1,81 @@
+"""Producer records and their testbed instrumentation.
+
+The paper's testbed generates source data as messages with an incremental
+unique key and a payload of definable length; the content is irrelevant
+(Section III-E).  :class:`ProducerRecord` mirrors that: we carry the sizes
+and timestamps the simulation needs, never actual payload bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ProducerRecord", "RecordMetadata", "reset_key_counter"]
+
+_key_counter = itertools.count()
+
+
+def reset_key_counter() -> None:
+    """Restart the global unique-key sequence (used between experiments)."""
+    global _key_counter
+    _key_counter = itertools.count()
+
+
+@dataclass
+class ProducerRecord:
+    """A message handed to the producer by an upstream application.
+
+    Attributes
+    ----------
+    key:
+        Incremental unique key used for loss/duplicate reconciliation.
+    payload_bytes:
+        Message size ``M`` in bytes (the payload string length).
+    topic:
+        Destination topic name.
+    source_time:
+        Simulated time the upstream application emitted the record.
+    ingest_time:
+        Simulated time the producer polled it in; the delivery-timeout and
+        staleness clocks start here (the paper's "arrives to the producer").
+    timeliness_s:
+        Validity period ``S``: a delivery that completes more than this long
+        after ``ingest_time`` is stale.  ``None`` disables staleness.
+    """
+
+    payload_bytes: int
+    topic: str = "events"
+    key: int = field(default_factory=lambda: next(_key_counter))
+    source_time: float = 0.0
+    ingest_time: Optional[float] = None
+    timeliness_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        if self.timeliness_s is not None and self.timeliness_s <= 0:
+            raise ValueError("timeliness_s must be positive when given")
+
+    def deadline(self, timeout_s: float) -> float:
+        """Absolute expiry time given the message-timeout configuration."""
+        if self.ingest_time is None:
+            raise ValueError("record has not been ingested by a producer yet")
+        return self.ingest_time + timeout_s
+
+    def is_stale(self, delivered_at: float) -> bool:
+        """Whether a delivery completed at ``delivered_at`` is stale."""
+        if self.timeliness_s is None or self.ingest_time is None:
+            return False
+        return (delivered_at - self.ingest_time) > self.timeliness_s
+
+
+@dataclass
+class RecordMetadata:
+    """Broker-side result of appending one record."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp: float

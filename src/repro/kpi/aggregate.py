@@ -1,0 +1,50 @@
+"""Eq. 3 aggregation: overall loss and duplicate rates over a run.
+
+``R_l = ∫λ(t)P_l(t)dt / ∫λ(t)dt`` (and likewise R_d): the per-interval
+reliability metrics weighted by the workload they applied to.  The
+dynamic-configuration experiment evaluates the integral as a sum over its
+measurement intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["IntervalMeasurement", "OverallRates", "aggregate_rates"]
+
+
+@dataclass(frozen=True)
+class IntervalMeasurement:
+    """One interval's workload and measured (or predicted) reliability."""
+
+    messages: float  # λ(t)·dt for the interval
+    p_loss: float
+    p_duplicate: float
+
+    def __post_init__(self) -> None:
+        if self.messages < 0:
+            raise ValueError("messages must be non-negative")
+        for name, value in (("p_loss", self.p_loss), ("p_duplicate", self.p_duplicate)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class OverallRates:
+    """The Table II row: R_l and R_d for one stream/policy."""
+
+    r_loss: float
+    r_duplicate: float
+    total_messages: float
+
+
+def aggregate_rates(intervals: Iterable[IntervalMeasurement]) -> OverallRates:
+    """Evaluate Eq. 3 over measured intervals."""
+    intervals = list(intervals)
+    total = sum(interval.messages for interval in intervals)
+    if total <= 0:
+        raise ValueError("no workload to aggregate")
+    r_loss = sum(i.messages * i.p_loss for i in intervals) / total
+    r_duplicate = sum(i.messages * i.p_duplicate for i in intervals) / total
+    return OverallRates(r_loss=r_loss, r_duplicate=r_duplicate, total_messages=total)

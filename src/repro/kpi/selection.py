@@ -1,0 +1,195 @@
+"""Configuration selection by stepwise KPI search (paper Section V).
+
+"For each parameter, we move its current value stepwise forward or
+backward and substitute the value into our prediction model to obtain the
+predicted results.  We repeat this until the predicted γ meets the
+requirement."  The purpose is explicitly *not* to find the maximum γ but
+the first configuration satisfying the user's requirement — the outputs
+are near-monotone in the inputs, so a greedy coordinate walk suffices.
+
+Also implements the Section IV-C producer scaling rule
+``N_p / δ = N_p' / (δ + Δδ)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..kafka.config import ProducerConfig
+from ..kafka.semantics import DeliverySemantics
+from ..models.features import FeatureVector
+from ..models.predictor import ReliabilityPredictor
+from ..performance.queueing import ProducerPerformanceModel
+from .weighted import DEFAULT_WEIGHTS, KpiWeights, kpi_from_estimates
+
+__all__ = [
+    "SelectionContext",
+    "ParameterSteps",
+    "SelectionResult",
+    "evaluate_config",
+    "select_configuration",
+    "scale_producers",
+]
+
+
+@dataclass(frozen=True)
+class SelectionContext:
+    """The environment a configuration is being chosen for."""
+
+    message_bytes: int
+    timeliness_s: float
+    network_delay_s: float
+    loss_rate: float
+
+    def feature_vector(self, config: ProducerConfig) -> FeatureVector:
+        """Combine environment and configuration into model inputs."""
+        return FeatureVector(
+            message_bytes=float(self.message_bytes),
+            timeliness_s=float(self.timeliness_s),
+            network_delay_s=float(self.network_delay_s),
+            loss_rate=float(self.loss_rate),
+            semantics=config.semantics,
+            batch_size=float(config.batch_size),
+            polling_interval_s=float(config.polling_interval_s),
+            message_timeout_s=float(config.message_timeout_s),
+        )
+
+
+@dataclass(frozen=True)
+class ParameterSteps:
+    """Candidate values per tunable parameter, in stepwise order."""
+
+    semantics: Sequence[DeliverySemantics] = (
+        DeliverySemantics.AT_LEAST_ONCE,
+        DeliverySemantics.AT_MOST_ONCE,
+    )
+    batch_size: Sequence[int] = (1, 2, 3, 4, 6, 8, 10)
+    polling_interval_s: Sequence[float] = (0.0, 0.02, 0.04, 0.06, 0.09)
+    message_timeout_s: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 3.0)
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a stepwise search."""
+
+    config: ProducerConfig
+    gamma: float
+    met_requirement: bool
+    steps_taken: int
+    trace: List[Tuple[str, float]] = field(default_factory=list)
+
+
+def evaluate_config(
+    config: ProducerConfig,
+    context: SelectionContext,
+    predictor: ReliabilityPredictor,
+    performance_model: ProducerPerformanceModel,
+    weights: KpiWeights = DEFAULT_WEIGHTS,
+) -> float:
+    """Predicted γ of one configuration in one environment."""
+    reliability = predictor.predict_vector(context.feature_vector(config))
+    performance = performance_model.predict(
+        config, context.message_bytes, context.network_delay_s
+    )
+    return kpi_from_estimates(performance, reliability, weights)
+
+
+def select_configuration(
+    context: SelectionContext,
+    predictor: ReliabilityPredictor,
+    performance_model: ProducerPerformanceModel,
+    weights: KpiWeights = DEFAULT_WEIGHTS,
+    gamma_requirement: float = 0.8,
+    start: Optional[ProducerConfig] = None,
+    steps: Optional[ParameterSteps] = None,
+    max_rounds: int = 8,
+) -> SelectionResult:
+    """Stepwise coordinate search until γ meets the requirement.
+
+    Each round walks the parameters in a fixed order; for each, the
+    current value is moved one step at a time in the direction that
+    improves the predicted γ, stopping at a local optimum for that
+    coordinate.  The search exits as soon as the requirement is met (the
+    paper's criterion) or when a full round makes no move.
+    """
+    steps = steps if steps is not None else ParameterSteps()
+    config = start if start is not None else ProducerConfig()
+    try:
+        gamma = evaluate_config(config, context, predictor, performance_model, weights)
+    except KeyError:
+        # No submodel covers the starting configuration; force the search
+        # to look for one that is covered.
+        gamma = float("-inf")
+    result = SelectionResult(config, gamma, gamma >= gamma_requirement, 0)
+    result.trace.append(("start", gamma))
+    if result.met_requirement:
+        return result
+
+    def candidates(parameter: str) -> Sequence:
+        return getattr(steps, parameter)
+
+    def with_value(base: ProducerConfig, parameter: str, value) -> ProducerConfig:
+        return base.with_(**{parameter: value})
+
+    parameters = ["semantics", "batch_size", "polling_interval_s", "message_timeout_s"]
+    for _round in range(max_rounds):
+        moved = False
+        for parameter in parameters:
+            values = list(candidates(parameter))
+            current_value = getattr(config, parameter)
+            if current_value not in values:
+                values = sorted(
+                    set(values) | {current_value},
+                    key=lambda v: (str(v) if parameter == "semantics" else float(v)),
+                )
+            index = values.index(current_value)
+            improved = True
+            while improved:
+                improved = False
+                for direction in (+1, -1):
+                    neighbour = index + direction
+                    if not 0 <= neighbour < len(values):
+                        continue
+                    candidate = with_value(config, parameter, values[neighbour])
+                    try:
+                        candidate_gamma = evaluate_config(
+                            candidate, context, predictor, performance_model, weights
+                        )
+                    except KeyError:
+                        continue  # no submodel for that semantics/region
+                    result.steps_taken += 1
+                    if candidate_gamma > gamma + 1e-9:
+                        config, gamma, index = candidate, candidate_gamma, neighbour
+                        result.trace.append((f"{parameter}={values[neighbour]}", gamma))
+                        moved = True
+                        improved = True
+                        break
+                if gamma >= gamma_requirement:
+                    result.config, result.gamma = config, gamma
+                    result.met_requirement = True
+                    return result
+        if not moved:
+            break
+    result.config, result.gamma = config, max(gamma, 0.0)
+    result.met_requirement = gamma >= gamma_requirement
+    return result
+
+
+def scale_producers(
+    current_producers: int,
+    current_polling_interval_s: float,
+    target_polling_interval_s: float,
+) -> int:
+    """Section IV-C scaling rule: keep the aggregate arrival rate.
+
+    ``N_p / δ = N_p' / (δ + Δδ)`` — increasing each producer's polling
+    interval from δ to δ+Δδ requires proportionally more producers.
+    """
+    if current_producers < 1:
+        raise ValueError("current_producers must be >= 1")
+    if current_polling_interval_s <= 0 or target_polling_interval_s <= 0:
+        raise ValueError("polling intervals must be positive for the scaling rule")
+    scaled = current_producers * target_polling_interval_s / current_polling_interval_s
+    return max(current_producers, int(math.ceil(scaled)))

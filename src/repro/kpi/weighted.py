@@ -1,0 +1,88 @@
+"""The weighted KPI γ of paper Eq. 2.
+
+``γ = ω1·φ + ω2·μ + ω3·(1 − P_l) + ω4·(1 − P_d)`` with Σωᵢ = 1, where φ
+is bandwidth utilisation, μ the (normalised) service rate and P_l/P_d the
+predicted reliability metrics.  The weights express what a particular
+streaming application cares about; the paper supplies an empirical
+default and per-stream suggestions (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..models.predictor import ReliabilityEstimate
+from ..performance.queueing import PerformanceEstimate
+
+__all__ = ["KpiWeights", "DEFAULT_WEIGHTS", "weighted_kpi", "kpi_from_estimates"]
+
+
+@dataclass(frozen=True)
+class KpiWeights:
+    """The four KPI weights (ω1: φ, ω2: μ, ω3: 1−P_l, ω4: 1−P_d)."""
+
+    bandwidth: float
+    service_rate: float
+    loss: float
+    duplicate: float
+
+    def __post_init__(self) -> None:
+        values = (self.bandwidth, self.service_rate, self.loss, self.duplicate)
+        if any(value < 0 for value in values):
+            raise ValueError("weights must be non-negative")
+        if abs(sum(values) - 1.0) > 1e-9:
+            raise ValueError(f"weights must sum to 1, got {sum(values)}")
+
+    @classmethod
+    def of(cls, values: Tuple[float, float, float, float]) -> "KpiWeights":
+        """Build from an (ω1, ω2, ω3, ω4) tuple."""
+        return cls(*values)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """The (ω1, ω2, ω3, ω4) tuple."""
+        return (self.bandwidth, self.service_rate, self.loss, self.duplicate)
+
+
+#: The paper's empirical default: ω = (0.3, 0.3, 0.3, 0.1) — duplicates
+#: are tolerated by most applications thanks to idempotent processing.
+DEFAULT_WEIGHTS = KpiWeights(0.3, 0.3, 0.3, 0.1)
+
+
+def weighted_kpi(
+    bandwidth_utilization: float,
+    service_rate_norm: float,
+    p_loss: float,
+    p_duplicate: float,
+    weights: KpiWeights = DEFAULT_WEIGHTS,
+) -> float:
+    """Evaluate Eq. 2. All inputs must already live in [0, 1]."""
+    for name, value in (
+        ("bandwidth_utilization", bandwidth_utilization),
+        ("service_rate_norm", service_rate_norm),
+        ("p_loss", p_loss),
+        ("p_duplicate", p_duplicate),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return (
+        weights.bandwidth * bandwidth_utilization
+        + weights.service_rate * service_rate_norm
+        + weights.loss * (1.0 - p_loss)
+        + weights.duplicate * (1.0 - p_duplicate)
+    )
+
+
+def kpi_from_estimates(
+    performance: PerformanceEstimate,
+    reliability: ReliabilityEstimate,
+    weights: KpiWeights = DEFAULT_WEIGHTS,
+) -> float:
+    """Eq. 2 from model outputs (the composition the controller uses)."""
+    return weighted_kpi(
+        performance.bandwidth_utilization,
+        performance.service_rate_norm,
+        reliability.p_loss,
+        reliability.p_duplicate,
+        weights,
+    )

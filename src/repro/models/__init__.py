@@ -1,0 +1,34 @@
+"""The paper's primary contribution: the reliability prediction framework.
+
+``ReliabilityPredictor`` realises Eq. 1 — an ANN family mapping
+``(M, S, D, L, Confs)`` to ``(P̂_l, P̂_d)`` — with the Fig. 3 submodel
+split (normal/abnormal network region × delivery semantics).
+``train_reliability_model`` runs the full collect → train → evaluate
+pipeline, and ``ModelRegistry`` persists trained predictors.
+"""
+
+from .features import ABNORMAL, FeatureSchema, FeatureVector, NORMAL, region_of
+from .predictor import (
+    ReliabilityEstimate,
+    ReliabilityPredictor,
+    SubModel,
+    TrainingSettings,
+)
+from .registry import ModelRegistry
+from .training import TrainedModelReport, split_results, train_reliability_model
+
+__all__ = [
+    "FeatureSchema",
+    "FeatureVector",
+    "NORMAL",
+    "ABNORMAL",
+    "region_of",
+    "ReliabilityEstimate",
+    "ReliabilityPredictor",
+    "SubModel",
+    "TrainingSettings",
+    "ModelRegistry",
+    "TrainedModelReport",
+    "train_reliability_model",
+    "split_results",
+]

@@ -1,0 +1,231 @@
+"""The reliability predictor — the paper's primary contribution.
+
+``{P̂_l, P̂_d} = f(M, S, D, L, Confs)`` (Eq. 1), realised as a family of
+ANN submodels routed by the Fig. 3 region (normal/abnormal network) and
+the delivery semantics (at-most-once predicts only P̂_l).  Each submodel
+is the paper's fully-connected network (hidden layers 200/200/200/64,
+SGD, MSE) behind a standard scaler; predictions are clipped to [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ann.metrics import mae
+from ..ann.network import PAPER_HIDDEN_LAYERS, Sequential, build_mlp
+from ..ann.optimizers import SGD
+from ..ann.scaling import StandardScaler
+from ..kafka.semantics import DeliverySemantics
+from ..testbed.results import ExperimentResult
+from ..testbed.scenario import Scenario
+from .features import ABNORMAL, FeatureSchema, FeatureVector, NORMAL
+
+__all__ = ["TrainingSettings", "ReliabilityEstimate", "SubModel", "ReliabilityPredictor"]
+
+
+@dataclass(frozen=True)
+class TrainingSettings:
+    """Hyperparameters for submodel training.
+
+    Defaults follow the paper (Section III-G): hidden layers 200/200/200/64,
+    SGD with learning rate 0.5, 1000 epochs.  Tests and quick runs pass a
+    smaller topology and fewer epochs.
+    """
+
+    hidden: Tuple[int, ...] = PAPER_HIDDEN_LAYERS
+    learning_rate: float = 0.5
+    epochs: int = 1000
+    batch_size: int = 32
+    validation_fraction: float = 0.15
+    patience: Optional[int] = 100
+    seed: int = 0
+    physics_features: bool = True
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not 0.0 < self.validation_fraction < 0.5:
+            raise ValueError("validation_fraction must be in (0, 0.5)")
+
+
+@dataclass(frozen=True)
+class ReliabilityEstimate:
+    """A prediction of the two reliability metrics."""
+
+    p_loss: float
+    p_duplicate: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("p_loss", self.p_loss), ("p_duplicate", self.p_duplicate)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+
+class SubModel:
+    """One (region, semantics) ANN with its scaler."""
+
+    def __init__(
+        self,
+        region: str,
+        semantics: DeliverySemantics,
+        network: Sequential,
+        scaler: StandardScaler,
+        physics_features: bool = True,
+    ) -> None:
+        self.region = region
+        self.semantics = semantics
+        self.network = network
+        self.scaler = scaler
+        self.schema = FeatureSchema(region, physics_features)
+        self.outputs = self.schema.output_columns(semantics)
+
+    def predict_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Predict clipped outputs for pre-encoded feature rows."""
+        scaled = self.scaler.transform(rows)
+        return np.clip(self.network.predict(scaled), 0.0, 1.0)
+
+
+class ReliabilityPredictor:
+    """Routes feature vectors to trained submodels (the Eq. 1 ``f``)."""
+
+    def __init__(self) -> None:
+        self.submodels: Dict[Tuple[str, str], SubModel] = {}
+
+    # ------------------------------------------------------------ training
+
+    @staticmethod
+    def _targets(result: ExperimentResult, outputs: List[str]) -> np.ndarray:
+        mapping = {"p_loss": result.p_loss, "p_duplicate": result.p_duplicate}
+        return np.array([mapping[name] for name in outputs], dtype=np.float64)
+
+    def fit(
+        self,
+        results: Sequence[ExperimentResult],
+        settings: Optional[TrainingSettings] = None,
+    ) -> Dict[Tuple[str, str], int]:
+        """Train one submodel per (region, semantics) present in ``results``.
+
+        Returns the number of training rows per submodel.  Regions or
+        semantics with fewer than 8 rows are skipped (too little data to
+        even overfit meaningfully); prediction for a missing submodel
+        raises ``KeyError``.
+        """
+        if not results:
+            raise ValueError("no training data")
+        settings = settings if settings is not None else TrainingSettings()
+        groups: Dict[Tuple[str, str], List[ExperimentResult]] = {}
+        for result in results:
+            vector = FeatureVector.from_result(result)
+            groups.setdefault(vector.submodel_key, []).append(result)
+        counts: Dict[Tuple[str, str], int] = {}
+        for key, rows in groups.items():
+            if len(rows) < 8:
+                continue
+            counts[key] = len(rows)
+            self._fit_submodel(key, rows, settings)
+        if not self.submodels:
+            raise ValueError("every submodel group had fewer than 8 rows")
+        return counts
+
+    def _fit_submodel(
+        self,
+        key: Tuple[str, str],
+        rows: Sequence[ExperimentResult],
+        settings: TrainingSettings,
+    ) -> None:
+        region, semantics_value = key
+        semantics = DeliverySemantics.parse(semantics_value)
+        schema = FeatureSchema(region, settings.physics_features)
+        outputs = schema.output_columns(semantics)
+        vectors = [FeatureVector.from_result(row) for row in rows]
+        x = schema.encode_many(vectors)
+        y = np.stack([self._targets(row, outputs) for row in rows])
+        scaler = StandardScaler()
+        x_scaled = scaler.fit_transform(x)
+        rng = np.random.default_rng(settings.seed)
+        count = x.shape[0]
+        order = rng.permutation(count)
+        val_count = max(1, int(round(count * settings.validation_fraction)))
+        val_index, train_index = order[:val_count], order[val_count:]
+        network = build_mlp(
+            schema.input_dim,
+            len(outputs),
+            hidden=settings.hidden,
+            seed=settings.seed,
+        )
+        network.fit(
+            x_scaled[train_index],
+            y[train_index],
+            epochs=settings.epochs,
+            batch_size=settings.batch_size,
+            optimizer=SGD(settings.learning_rate),
+            loss="mse",
+            validation=(x_scaled[val_index], y[val_index]),
+            patience=settings.patience,
+            rng=rng,
+        )
+        self.submodels[key] = SubModel(
+            region, semantics, network, scaler, settings.physics_features
+        )
+
+    # ---------------------------------------------------------- prediction
+
+    def submodel_for(self, vector: FeatureVector) -> SubModel:
+        """Look up the submodel responsible for ``vector``."""
+        key = vector.submodel_key
+        submodel = self.submodels.get(key)
+        if submodel is None:
+            raise KeyError(
+                f"no submodel trained for region={key[0]!r}, semantics={key[1]!r}"
+            )
+        return submodel
+
+    def predict_vector(self, vector: FeatureVector) -> ReliabilityEstimate:
+        """Predict the reliability metrics for one feature vector."""
+        submodel = self.submodel_for(vector)
+        row = submodel.schema.encode(vector)[None, :]
+        outputs = submodel.predict_rows(row)[0]
+        named = dict(zip(submodel.outputs, outputs))
+        return ReliabilityEstimate(
+            p_loss=float(named.get("p_loss", 0.0)),
+            p_duplicate=float(named.get("p_duplicate", 0.0)),
+        )
+
+    def predict_scenario(self, scenario: Scenario) -> ReliabilityEstimate:
+        """Predict for a testbed scenario (Eq. 1 with scenario inputs)."""
+        return self.predict_vector(FeatureVector.from_scenario(scenario))
+
+    # ---------------------------------------------------------- evaluation
+
+    def evaluate(
+        self, results: Sequence[ExperimentResult]
+    ) -> Dict[str, float]:
+        """MAE of the predictor against measured hold-out results.
+
+        Returns per-output MAE plus ``"overall"`` — the figure the paper
+        reports as "below 0.02".
+        """
+        errors: Dict[str, List[float]] = {"p_loss": [], "p_duplicate": []}
+        for result in results:
+            vector = FeatureVector.from_result(result)
+            estimate = self.predict_vector(vector)
+            errors["p_loss"].append(abs(estimate.p_loss - result.p_loss))
+            if vector.semantics is not DeliverySemantics.AT_MOST_ONCE:
+                errors["p_duplicate"].append(
+                    abs(estimate.p_duplicate - result.p_duplicate)
+                )
+        report = {
+            name: float(np.mean(values))
+            for name, values in errors.items()
+            if values
+        }
+        all_errors = [e for values in errors.values() for e in values]
+        if not all_errors:
+            raise ValueError("no evaluable results")
+        report["overall"] = float(np.mean(all_errors))
+        return report

@@ -1,0 +1,72 @@
+"""Wire-level packet data types for the simulated network.
+
+Sizes are in bytes and include protocol overhead, mirroring what NetEm and
+Wireshark see on a real interface.  ``WIRE_HEADER_BYTES`` approximates the
+Ethernet + IP + TCP header stack of the paper's Docker bridge network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+__all__ = ["PacketKind", "Packet", "WIRE_HEADER_BYTES", "ACK_PACKET_BYTES", "DEFAULT_MTU"]
+
+#: Ethernet (14) + IPv4 (20) + TCP (32 incl. options) header bytes.
+WIRE_HEADER_BYTES = 66
+
+#: A bare TCP acknowledgement segment on the wire.
+ACK_PACKET_BYTES = WIRE_HEADER_BYTES
+
+#: Standard Ethernet MTU: maximum payload bytes per packet.
+DEFAULT_MTU = 1500
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(Enum):
+    """What a packet carries."""
+
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass
+class Packet:
+    """A single simulated packet.
+
+    Attributes
+    ----------
+    kind:
+        Whether this is a data segment or a transport-level acknowledgement.
+    size_bytes:
+        Total on-the-wire size, including headers.
+    message_id:
+        Identifier of the transport-level message this segment belongs to.
+    segment_index:
+        Index of this segment within its message.
+    payload:
+        Opaque application object carried by the final segment of a message.
+    packet_id:
+        Globally unique id (for tracing and deduplication).
+    attempt:
+        Retransmission attempt number for this segment (0 = first try).
+    """
+
+    kind: PacketKind
+    size_bytes: int
+    message_id: int
+    segment_index: int = 0
+    payload: Any = None
+    attempt: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+
+    def is_ack(self) -> bool:
+        """True when this packet is a transport acknowledgement."""
+        return self.kind is PacketKind.ACK

@@ -1,0 +1,15 @@
+"""Producer performance prediction (the authors' HPCC'19 model [6]).
+
+Provides the (φ, μ) estimates the weighted KPI needs, plus measured-side
+bandwidth accounting for validation.
+"""
+
+from .bandwidth import measured_goodput_bytes_per_s, measured_utilization
+from .queueing import PerformanceEstimate, ProducerPerformanceModel
+
+__all__ = [
+    "PerformanceEstimate",
+    "ProducerPerformanceModel",
+    "measured_utilization",
+    "measured_goodput_bytes_per_s",
+]

@@ -1,0 +1,41 @@
+"""Bandwidth accounting helpers.
+
+Complements :mod:`~repro.performance.queueing` with measured-side
+utilisation: given link statistics from a simulation run, compute the
+achieved bandwidth utilisation φ so predicted and measured values can be
+compared in the validation benchmark.
+"""
+
+from __future__ import annotations
+
+from ..network.link import Link
+
+__all__ = ["measured_utilization", "measured_goodput_bytes_per_s"]
+
+
+def measured_utilization(link: Link, duration_s: float) -> float:
+    """φ achieved over a run: bytes offered to the link over capacity.
+
+    Both directions count — they share the bridge capacity (see
+    :class:`~repro.network.link.SharedCapacity`).
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    sent = link.forward.stats.bytes_sent + link.reverse.stats.bytes_sent
+    return min(1.0, sent / (link.forward.capacity_bps * duration_s))
+
+
+def measured_goodput_bytes_per_s(link: Link, duration_s: float) -> float:
+    """Delivered (non-dropped) bytes per second, both directions.
+
+    Approximates goodput by scaling offered bytes with the delivered
+    packet fraction per direction.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    total = 0.0
+    for direction in (link.forward, link.reverse):
+        if direction.stats.sent:
+            delivered_fraction = direction.stats.delivered / direction.stats.sent
+            total += direction.stats.bytes_sent * delivered_fraction
+    return total / duration_s

@@ -1,0 +1,139 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is a classic calendar queue built on :mod:`heapq`.  An
+:class:`Event` is an immutable-ish record of *when* a callback should run.
+Events are ordered by ``(time, priority, seq)`` so that simultaneous events
+run in a deterministic order: first by explicit priority, then by insertion
+order.  Determinism matters here because experiments must be exactly
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue", "NORMAL_PRIORITY", "HIGH_PRIORITY", "LOW_PRIORITY"]
+
+HIGH_PRIORITY = 0
+NORMAL_PRIORITY = 10
+LOW_PRIORITY = 20
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (seconds) at which the event fires.
+    priority:
+        Tie-breaker for events scheduled at the same time; lower runs first.
+    seq:
+        Monotonic insertion counter, the final tie-breaker.
+    callback:
+        Zero-or-more-argument callable invoked when the event fires.
+    args:
+        Positional arguments passed to ``callback``.
+    cancelled:
+        Set by :meth:`cancel`; a cancelled event is skipped by the queue.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (does not check ``cancelled``)."""
+        self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} p={self.priority} {name} {state}>"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Cancellation is lazy: cancelled events stay in the heap and are skipped
+    on pop, which keeps :meth:`cancel` O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        event = Event(time, priority, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the fire time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (no-op if already cancelled)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

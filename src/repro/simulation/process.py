@@ -1,0 +1,127 @@
+"""Coroutine-style simulated processes.
+
+A *process* is a Python generator that yields either
+
+* a ``float`` — sleep for that many simulated seconds, or
+* a :class:`Signal` — suspend until the signal is triggered; the value the
+  signal was triggered with becomes the result of the ``yield``.
+
+This gives sequential-looking code (e.g. a producer's send/ack/retry loop)
+without hand-written callback chains, while staying a thin layer over the
+event queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from .simulator import Simulator
+
+__all__ = ["Signal", "Process", "spawn"]
+
+
+class Signal:
+    """A one-shot condition that processes can wait on.
+
+    A signal starts *pending*; :meth:`trigger` fires it exactly once with an
+    optional value.  Waiters registered before the trigger are resumed in
+    registration order; waiters registered after the trigger resume
+    immediately (on the next event).
+    """
+
+    __slots__ = ("_sim", "_triggered", "_value", "_waiters", "name")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self._sim = sim
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`trigger` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the signal was triggered with (None until triggered)."""
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the signal, resuming all current waiters on the next event.
+
+        Triggering twice raises ``RuntimeError``: signals are one-shot so a
+        double trigger is always a logic error in the caller.
+        """
+        if self._triggered:
+            raise RuntimeError(f"signal {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self._sim.schedule(0.0, waiter, value)
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)`` to run when the signal triggers."""
+        if self._triggered:
+            self._sim.schedule(0.0, callback, self._value)
+        else:
+            self._waiters.append(callback)
+
+
+class Process:
+    """Driver that advances a generator through the simulator.
+
+    Not constructed directly; use :func:`spawn`.
+    """
+
+    __slots__ = ("_sim", "_gen", "done", "result", "_done_signal", "name")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gen: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self._gen = gen
+        self.done = False
+        self.result: Any = None
+        self._done_signal = Signal(sim, name=f"{name}.done")
+        self.name = name
+        sim.schedule(0.0, self._advance, None)
+
+    @property
+    def completion(self) -> Signal:
+        """Signal triggered with the generator's return value on completion."""
+        return self._done_signal
+
+    def _advance(self, sent_value: Any) -> None:
+        try:
+            yielded = self._gen.send(sent_value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            self._done_signal.trigger(stop.value)
+            return
+        if isinstance(yielded, Signal):
+            yielded.add_waiter(self._advance)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise RuntimeError(f"process {self.name!r} slept {yielded}s")
+            self._sim.schedule(float(yielded), self._advance, None)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                "expected float delay or Signal"
+            )
+
+
+def spawn(
+    sim: Simulator,
+    gen: Generator[Any, Any, Any],
+    name: str = "process",
+) -> Process:
+    """Start ``gen`` as a simulated process on ``sim``."""
+    return Process(sim, gen, name=name)

@@ -1,0 +1,180 @@
+"""The discrete-event simulator clock and run loop.
+
+A :class:`Simulator` owns an :class:`~repro.simulation.events.EventQueue`
+and a virtual clock.  Components schedule callbacks relative to *now* with
+:meth:`Simulator.schedule` or at absolute times with
+:meth:`Simulator.schedule_at`.  Time only advances when :meth:`run` pops
+events, so a run is exactly reproducible given the same seed and schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .events import Event, EventQueue, NORMAL_PRIORITY
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, bad run bounds)."""
+
+
+class Simulator:
+    """Discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock, in seconds.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (1.5, ['hello'])
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still scheduled."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self._queue.push(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        return self._queue.push(time, callback, *args, priority=priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self._queue.cancel(event)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_delay: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Run ``callback`` every ``interval`` seconds until cancelled.
+
+        Returns a zero-argument function that stops the recurrence.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        state = {"event": None, "stopped": False}
+
+        def tick() -> None:
+            if state["stopped"]:
+                return
+            callback(*args)
+            if not state["stopped"]:
+                state["event"] = self.schedule(interval, tick)
+
+        state["event"] = self.schedule(
+            interval if start_delay is None else start_delay, tick
+        )
+
+        def stop() -> None:
+            state["stopped"] = True
+            if state["event"] is not None:
+                self.cancel(state["event"])
+
+        return stop
+
+    def step(self) -> bool:
+        """Advance the clock to the next event and fire it.
+
+        Returns False when the queue is empty (nothing fired).
+        """
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue returned an event in the past")
+        self._now = event.time
+        event.fire()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or stop().
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire after this time and
+            fast-forward the clock exactly to ``until``.
+        max_events:
+            Optional safety valve on the number of events processed.
+
+        Returns
+        -------
+        int
+            The number of events processed.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is before now={self._now}")
+        self._stopped = False
+        self._running = True
+        processed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return processed
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to exit after this event."""
+        self._stopped = True
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Drop all pending events and rewind the clock."""
+        self._queue.clear()
+        self._now = float(start_time)
+        self._stopped = False

@@ -1,0 +1,52 @@
+"""The experiment harness (Docker-testbed analogue).
+
+One :class:`Scenario` fixes the paper's Eq. 1 features; ``run_experiment``
+executes it against a freshly wired simulated Kafka system and returns the
+measured reliability metrics.  ``sweep`` runs feature grids and
+``collection`` implements the paper's Fig. 3 training-data design.
+"""
+
+from .collection import (
+    CollectionPlan,
+    abnormal_case_plan,
+    collect_training_data,
+    normal_case_plan,
+)
+from .experiment import Experiment, run_experiment
+from .scaled import ScaledExperiment, run_scaled_experiment
+from .sensitivity import (
+    DEFAULT_CANDIDATES,
+    ParameterSensitivity,
+    SensitivityReport,
+    analyze_sensitivity,
+)
+from .results import ExperimentResult, load_results_csv, save_results_csv, wilson_interval
+from .scenario import Scenario
+from .sweep import apply_axis, mean_metric, replicate, sweep
+from .tracker import CaseCensus, DeliveryTracker
+
+__all__ = [
+    "CollectionPlan",
+    "normal_case_plan",
+    "abnormal_case_plan",
+    "collect_training_data",
+    "Experiment",
+    "run_experiment",
+    "ExperimentResult",
+    "save_results_csv",
+    "load_results_csv",
+    "wilson_interval",
+    "Scenario",
+    "apply_axis",
+    "sweep",
+    "replicate",
+    "mean_metric",
+    "CaseCensus",
+    "DeliveryTracker",
+    "ScaledExperiment",
+    "run_scaled_experiment",
+    "ParameterSensitivity",
+    "SensitivityReport",
+    "analyze_sensitivity",
+    "DEFAULT_CANDIDATES",
+]

@@ -1,0 +1,192 @@
+"""The experiment runner: one scenario → one measured result.
+
+Mirrors the paper's procedure (Section III-E):
+
+1. start a fresh Kafka system and create a new topic (no legacy effects),
+2. provide uniquely-keyed source data of configurable size,
+3. inject the network fault while the producer runs,
+4. stop fault injection, run the consumer, and
+5. reconcile unique keys to count lost and duplicated messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..kafka.cluster import KafkaCluster
+from ..kafka.consumer import reconcile
+from ..kafka.message import reset_key_counter
+from ..kafka.producer import KafkaProducer
+from ..kafka.state import DeliveryCase
+from ..network.faults import FaultInjector, NetworkFault
+from ..network.latency import ConstantLatency
+from ..network.link import Link
+from ..network.transport import ReliableChannel
+from ..simulation.random import RngRegistry
+from ..simulation.simulator import Simulator
+from ..workloads.arrival import ConstantRateSource, FullLoadSource, PolledSource
+from .results import ExperimentResult
+from .scenario import Scenario
+from .tracker import DeliveryTracker
+
+__all__ = ["Experiment", "run_experiment"]
+
+
+class Experiment:
+    """A fully wired testbed instance for one scenario.
+
+    Building the experiment constructs the simulator, cluster, link,
+    channel, producer, tracker and source; :meth:`run` executes it and
+    returns the :class:`ExperimentResult`.  The pieces stay accessible as
+    attributes for tests and custom drivers.
+    """
+
+    #: Safety valve: no experiment may process more events than this.
+    MAX_EVENTS = 20_000_000
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        # Unique keys restart per experiment so partition routing (and
+        # hence the whole run) is a pure function of the scenario seed.
+        reset_key_counter()
+        self.sim = Simulator()
+        self.rng = RngRegistry(scenario.seed)
+        self.cluster = KafkaCluster(
+            self.sim, scenario.broker_count, scenario.broker_config
+        )
+        self.topic = self.cluster.create_topic(
+            scenario.topic_name, partitions=scenario.partition_count
+        )
+        hardware = scenario.hardware
+        self.link = Link(
+            self.sim,
+            self.rng.stream("link"),
+            capacity_bps=hardware.link_capacity_bps,
+            latency=ConstantLatency(hardware.link_base_delay_s),
+        )
+        self.channel = ReliableChannel(self.sim, self.link)
+        self.tracker = DeliveryTracker(
+            retries_allowed=scenario.config.semantics.retries_allowed
+        )
+        self.tracker.attach_clock(self.sim)
+        self.producer = KafkaProducer(
+            self.sim,
+            self.cluster,
+            self.channel,
+            self.topic,
+            config=scenario.config,
+            hardware=hardware,
+            listener=self.tracker,
+        )
+        self.cluster.add_append_listener(self.tracker.on_append)
+        self.injector = FaultInjector(self.sim, self.link)
+        self.injector.on_broker_availability(self.cluster.set_broker_availability)
+        self.source = self._build_source()
+
+    def _build_source(self):
+        scenario = self.scenario
+        config = scenario.config
+        rng = self.rng.stream("source")
+        common = dict(
+            sim=self.sim,
+            producer=self.producer,
+            count=scenario.message_count,
+            payload_bytes=scenario.message_bytes,
+            rng=rng,
+            topic=scenario.topic_name,
+            timeliness_s=scenario.timeliness_s,
+        )
+        if scenario.arrival_rate is not None:
+            return ConstantRateSource(rate=scenario.arrival_rate, **common)
+        if config.polling_interval_s > 0:
+            return PolledSource(
+                polling_interval_s=config.polling_interval_s,
+                hardware=scenario.hardware,
+                **common,
+            )
+        return FullLoadSource(
+            hardware=scenario.hardware,
+            waits_for_ack=config.semantics.waits_for_ack,
+            **common,
+        )
+
+    def run(self) -> ExperimentResult:
+        """Execute the experiment and return its measured result."""
+        scenario = self.scenario
+        if scenario.loss_rate > 0 or scenario.network_delay_s > 0:
+            self.injector.inject(
+                NetworkFault(
+                    delay_s=scenario.network_delay_s,
+                    loss_rate=scenario.loss_rate,
+                    jitter_s=scenario.jitter_s,
+                    bursty=scenario.bursty_loss,
+                )
+            )
+        self.source.start()
+        start = self.sim.now
+        processed = self.sim.run(max_events=self.MAX_EVENTS)
+        if processed >= self.MAX_EVENTS:
+            raise RuntimeError(
+                "experiment exceeded the event budget; check for overload "
+                "configurations that never converge"
+            )
+        duration = self.sim.now - start
+        # Fault injection "stops" before consumption: reconciliation reads
+        # the committed logs directly, after all network events settled.
+        self.injector.clear()
+        report = reconcile(
+            self.source.keys,
+            self.topic,
+            ingest_times=self.tracker.ingest_times,
+            timeliness_s=scenario.timeliness_s,
+        )
+        report.check_conservation()
+        census = self.tracker.census()
+        case_fractions = {
+            ExperimentResult.case_key(case): census.fraction(case)
+            for case in DeliveryCase
+            if census.case_counts.get(case)
+        }
+        ack_latencies = list(self.tracker.ack_latencies.values())
+        stats = self.producer.stats
+        delivered = report.delivered_unique
+        return ExperimentResult(
+            message_bytes=scenario.message_bytes,
+            timeliness_s=scenario.timeliness_s,
+            network_delay_s=scenario.network_delay_s,
+            loss_rate=scenario.loss_rate,
+            semantics=scenario.config.semantics.value,
+            batch_size=scenario.config.batch_size,
+            polling_interval_s=scenario.config.polling_interval_s,
+            message_timeout_s=scenario.config.message_timeout_s,
+            produced=report.produced,
+            p_loss=report.p_loss,
+            p_duplicate=report.p_duplicate,
+            p_stale=report.p_stale,
+            case_fractions=case_fractions,
+            persisted_but_unacked=self.tracker.persisted_but_unacked(),
+            duplicate_copies=report.duplicate_copies,
+            mean_ack_latency_s=(
+                float(np.mean(ack_latencies)) if ack_latencies else None
+            ),
+            p50_ack_latency_s=(
+                float(np.percentile(ack_latencies, 50)) if ack_latencies else None
+            ),
+            p95_ack_latency_s=(
+                float(np.percentile(ack_latencies, 95)) if ack_latencies else None
+            ),
+            throughput_msgs_per_s=(
+                delivered / duration if duration > 0 else None
+            ),
+            simulated_duration_s=duration,
+            retransmissions=self.channel.stats("forward").retransmissions,
+            request_retries=stats.request_retries,
+            seed=scenario.seed,
+        )
+
+
+def run_experiment(scenario: Scenario) -> ExperimentResult:
+    """Build and run one experiment (the testbed's main entry point)."""
+    return Experiment(scenario).run()

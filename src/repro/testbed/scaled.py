@@ -1,0 +1,199 @@
+"""Scaled producer deployments: N producers sharing one cluster.
+
+Section IV-C's remedy for overload is to slow each producer down (larger
+polling interval δ) and scale the fleet so the aggregate arrival rate is
+preserved: ``N_p/δ = N_p'/(δ+Δδ)``.  This module runs that deployment *in
+one simulation*: every producer gets its own uplink (its own container's
+veth, so its own bandwidth and fault treatments) to the shared broker
+cluster, the workload is split across the fleet, and reconciliation runs
+over the union of all source keys against the shared topic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..kafka.cluster import KafkaCluster
+from ..kafka.consumer import reconcile
+from ..kafka.producer import KafkaProducer
+from ..network.faults import FaultInjector, NetworkFault
+from ..network.latency import ConstantLatency
+from ..network.link import Link
+from ..network.transport import ReliableChannel
+from ..simulation.random import RngRegistry
+from ..simulation.simulator import Simulator
+from ..workloads.arrival import ConstantRateSource, FullLoadSource, PolledSource
+from .results import ExperimentResult
+from .scenario import Scenario
+from .tracker import DeliveryTracker
+
+__all__ = ["ScaledExperiment", "run_scaled_experiment"]
+
+
+@dataclass
+class _ProducerSlot:
+    """One fleet member's wiring."""
+
+    link: Link
+    channel: ReliableChannel
+    producer: KafkaProducer
+    injector: FaultInjector
+    source: object
+
+
+class ScaledExperiment:
+    """A fleet of ``producers`` identical producers over one cluster.
+
+    The scenario's workload describes the *aggregate* stream; each fleet
+    member receives ``message_count / producers`` messages at
+    ``arrival_rate / producers`` (for rate-driven sources).  Full-load and
+    polled sources run per member unchanged — each member is its own
+    machine with its own I/O.
+
+    Fault treatments apply to every member's uplink, mirroring NetEm on
+    the shared bridge.
+    """
+
+    MAX_EVENTS = 40_000_000
+
+    def __init__(self, scenario: Scenario, producers: int) -> None:
+        if producers < 1:
+            raise ValueError("producers must be >= 1")
+        from ..kafka.message import reset_key_counter
+
+        reset_key_counter()
+        self.scenario = scenario
+        self.producers = producers
+        self.sim = Simulator()
+        self.rng = RngRegistry(scenario.seed)
+        self.cluster = KafkaCluster(
+            self.sim, scenario.broker_count, scenario.broker_config
+        )
+        self.topic = self.cluster.create_topic(
+            scenario.topic_name, partitions=scenario.partition_count
+        )
+        self.tracker = DeliveryTracker(
+            retries_allowed=scenario.config.semantics.retries_allowed
+        )
+        self.cluster.add_append_listener(self.tracker.on_append)
+        self.slots: List[_ProducerSlot] = [
+            self._build_slot(index) for index in range(producers)
+        ]
+
+    def _build_slot(self, index: int) -> _ProducerSlot:
+        scenario = self.scenario
+        hardware = scenario.hardware
+        link = Link(
+            self.sim,
+            self.rng.stream(f"link-{index}"),
+            capacity_bps=hardware.link_capacity_bps,
+            latency=ConstantLatency(hardware.link_base_delay_s),
+        )
+        channel = ReliableChannel(self.sim, link)
+        producer = KafkaProducer(
+            self.sim,
+            self.cluster,
+            channel,
+            self.topic,
+            config=scenario.config,
+            hardware=hardware,
+            listener=self.tracker,
+        )
+        injector = FaultInjector(self.sim, link)
+        source = self._build_source(index, producer)
+        return _ProducerSlot(link, channel, producer, injector, source)
+
+    def _per_producer_count(self, index: int) -> int:
+        total = self.scenario.message_count
+        base = total // self.producers
+        extra = 1 if index < total % self.producers else 0
+        return max(1, base + extra)
+
+    def _build_source(self, index: int, producer: KafkaProducer):
+        scenario = self.scenario
+        config = scenario.config
+        rng = self.rng.stream(f"source-{index}")
+        common = dict(
+            sim=self.sim,
+            producer=producer,
+            count=self._per_producer_count(index),
+            payload_bytes=scenario.message_bytes,
+            rng=rng,
+            topic=scenario.topic_name,
+            timeliness_s=scenario.timeliness_s,
+        )
+        if scenario.arrival_rate is not None:
+            return ConstantRateSource(
+                rate=scenario.arrival_rate / self.producers, **common
+            )
+        if config.polling_interval_s > 0:
+            return PolledSource(
+                polling_interval_s=config.polling_interval_s,
+                hardware=scenario.hardware,
+                **common,
+            )
+        return FullLoadSource(
+            hardware=scenario.hardware,
+            waits_for_ack=config.semantics.waits_for_ack,
+            **common,
+        )
+
+    def run(self) -> ExperimentResult:
+        """Run the fleet and return aggregate reliability metrics."""
+        scenario = self.scenario
+        if scenario.loss_rate > 0 or scenario.network_delay_s > 0:
+            fault = NetworkFault(
+                delay_s=scenario.network_delay_s,
+                loss_rate=scenario.loss_rate,
+                bursty=scenario.bursty_loss,
+            )
+            for slot in self.slots:
+                slot.injector.inject(fault)
+        for slot in self.slots:
+            slot.source.start()
+        start = self.sim.now
+        processed = self.sim.run(max_events=self.MAX_EVENTS)
+        if processed >= self.MAX_EVENTS:
+            raise RuntimeError("scaled experiment exceeded the event budget")
+        duration = self.sim.now - start
+        all_keys = set()
+        for slot in self.slots:
+            all_keys |= slot.source.keys
+        report = reconcile(
+            all_keys,
+            self.topic,
+            ingest_times=self.tracker.ingest_times,
+            timeliness_s=scenario.timeliness_s,
+        )
+        report.check_conservation()
+        delivered = report.delivered_unique
+        ack_latencies = list(self.tracker.ack_latencies.values())
+        return ExperimentResult(
+            message_bytes=scenario.message_bytes,
+            timeliness_s=scenario.timeliness_s,
+            network_delay_s=scenario.network_delay_s,
+            loss_rate=scenario.loss_rate,
+            semantics=scenario.config.semantics.value,
+            batch_size=scenario.config.batch_size,
+            polling_interval_s=scenario.config.polling_interval_s,
+            message_timeout_s=scenario.config.message_timeout_s,
+            produced=report.produced,
+            p_loss=report.p_loss,
+            p_duplicate=report.p_duplicate,
+            p_stale=report.p_stale,
+            duplicate_copies=report.duplicate_copies,
+            mean_ack_latency_s=(
+                float(np.mean(ack_latencies)) if ack_latencies else None
+            ),
+            throughput_msgs_per_s=delivered / duration if duration > 0 else None,
+            simulated_duration_s=duration,
+            seed=scenario.seed,
+        )
+
+
+def run_scaled_experiment(scenario: Scenario, producers: int) -> ExperimentResult:
+    """Run ``scenario``'s workload over a fleet of ``producers``."""
+    return ScaledExperiment(scenario, producers).run()

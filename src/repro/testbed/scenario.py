@@ -1,0 +1,95 @@
+"""Scenario descriptions: one experiment = one feature vector + run options.
+
+A :class:`Scenario` fixes the paper's Eq. 1 inputs — message size ``M``,
+timeliness ``S``, network delay ``D``, packet loss rate ``L`` and the
+producer configuration ``Confs`` — plus the bookkeeping the testbed needs
+(message count, seed, cluster shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..kafka.config import BrokerConfig, HardwareProfile, ProducerConfig
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Inputs of one testbed experiment.
+
+    Attributes
+    ----------
+    message_bytes:
+        ``M``, the payload size of each message.
+    timeliness_s:
+        ``S``, the validity period of a message (staleness bookkeeping
+        only; it does not change producer behaviour).
+    network_delay_s:
+        ``D``, the injected one-way network delay.
+    loss_rate:
+        ``L``, the injected packet loss rate.
+    jitter_s:
+        Uniform jitter added to the injected delay (NetEm ``delay D J``).
+    config:
+        The producer configuration under test.
+    message_count:
+        Source messages per experiment (the paper uses 10^6; benches use
+        less — the metrics are frequencies, so the sample size only sets
+        the confidence interval).
+    seed:
+        Master seed for all random streams of the run.
+    bursty_loss:
+        Realise ``loss_rate`` through a Gilbert–Elliott chain instead of
+        independent drops.
+    arrival_rate:
+        Optional explicit source rate (messages/s).  ``None`` selects the
+        paper's discipline: full load when δ=0, polled at 1/δ otherwise.
+    broker_count / partition_count:
+        Cluster shape (paper: three brokers).
+    hardware / broker_config:
+        Fixed resources; defaults are the calibrated "paper profile".
+    """
+
+    message_bytes: int = 200
+    timeliness_s: Optional[float] = None
+    network_delay_s: float = 0.0
+    loss_rate: float = 0.0
+    jitter_s: float = 0.0
+    config: ProducerConfig = field(default_factory=ProducerConfig)
+    message_count: int = 5000
+    seed: int = 1
+    bursty_loss: bool = False
+    arrival_rate: Optional[float] = None
+    broker_count: int = 3
+    partition_count: int = 3
+    hardware: HardwareProfile = field(default_factory=HardwareProfile)
+    broker_config: BrokerConfig = field(default_factory=BrokerConfig)
+    topic_name: str = "events"
+
+    def __post_init__(self) -> None:
+        if self.message_bytes < 1:
+            raise ValueError("message_bytes must be >= 1")
+        if self.network_delay_s < 0:
+            raise ValueError("network_delay_s must be >= 0")
+        if self.jitter_s < 0:
+            raise ValueError("jitter_s must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.message_count < 1:
+            raise ValueError("message_count must be >= 1")
+        if self.broker_count < 1 or self.partition_count < 1:
+            raise ValueError("cluster shape must be positive")
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive when given")
+
+    @property
+    def is_normal_network(self) -> bool:
+        """The paper's Fig. 3 normal-case predicate: D < 200 ms and L = 0."""
+        return self.network_delay_s < 0.200 and self.loss_rate == 0.0
+
+    def with_(self, **changes) -> "Scenario":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,88 @@
+"""Feature-grid sweeps over the testbed.
+
+A sweep runs one experiment per point of a cartesian feature grid, with
+optional seed replication, mirroring how the paper harvests the figures'
+curves ("we observe the changes in P_l with M ranging from 50 to 1000
+bytes").  Axis names address either :class:`Scenario` fields directly
+(``"message_bytes"``) or producer-configuration fields with a ``config.``
+prefix (``"config.batch_size"``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .experiment import run_experiment
+from .results import ExperimentResult
+from .scenario import Scenario
+
+__all__ = ["apply_axis", "sweep", "replicate", "mean_metric"]
+
+
+def apply_axis(scenario: Scenario, axis: str, value) -> Scenario:
+    """Return ``scenario`` with one axis set.
+
+    ``axis`` is a Scenario field name or ``config.<field>`` for producer
+    configuration fields.
+    """
+    if axis.startswith("config."):
+        field = axis[len("config."):]
+        return scenario.with_(config=scenario.config.with_(**{field: value}))
+    return scenario.with_(**{axis: value})
+
+
+def sweep(
+    base: Scenario,
+    axes: Dict[str, Sequence],
+    replications: int = 1,
+    progress: Optional[Callable[[Scenario], None]] = None,
+) -> List[ExperimentResult]:
+    """Run the cartesian product of ``axes`` starting from ``base``.
+
+    Parameters
+    ----------
+    base:
+        Scenario providing every unswept feature.
+    axes:
+        Mapping of axis name → values, e.g.
+        ``{"message_bytes": [50, 100], "config.batch_size": [1, 2]}``.
+    replications:
+        Experiments per grid point; replication ``k`` derives its seed as
+        ``base.seed + 1000 * k`` so grids and replications never collide.
+    progress:
+        Optional callback invoked with each scenario before it runs.
+
+    Returns results in grid order (replications adjacent).
+    """
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    names = list(axes)
+    results: List[ExperimentResult] = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        scenario = base
+        for name, value in zip(names, values):
+            scenario = apply_axis(scenario, name, value)
+        for replication in range(replications):
+            run_scenario = scenario.with_(seed=base.seed + 1000 * replication)
+            if progress is not None:
+                progress(run_scenario)
+            results.append(run_experiment(run_scenario))
+    return results
+
+
+def replicate(scenario: Scenario, replications: int) -> List[ExperimentResult]:
+    """Run one scenario under ``replications`` different seeds."""
+    return sweep(scenario, {}, replications=replications)
+
+
+def mean_metric(
+    results: Iterable[ExperimentResult], metric: str = "p_loss"
+) -> float:
+    """Average a metric over results (CI-friendly aggregation)."""
+    values = [getattr(result, metric) for result in results]
+    if not values:
+        raise ValueError("no results to aggregate")
+    return float(np.mean(values))

@@ -1,0 +1,152 @@
+"""Omniscient per-message delivery tracking.
+
+The testbed watches both ends of the pipe — the producer's view (send
+attempts, acknowledgements, give-ups) and the cluster's ground truth
+(appends) — and drives one :class:`MessageStateMachine` per message
+through the Fig. 2 transitions.  The resulting Table I case census is
+cross-checked against consumer reconciliation by the experiment runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..kafka.message import ProducerRecord
+from ..kafka.partition import Partition
+from ..kafka.producer import ProducerListener
+from ..kafka.state import DeliveryCase, MessageState, MessageStateMachine, Transition
+
+__all__ = ["DeliveryTracker", "CaseCensus"]
+
+
+@dataclass
+class CaseCensus:
+    """Counts of Table I delivery cases over one experiment."""
+
+    case_counts: Dict[DeliveryCase, int] = field(default_factory=dict)
+    unresolved: int = 0
+
+    def total(self) -> int:
+        """Messages classified."""
+        return sum(self.case_counts.values())
+
+    def fraction(self, case: DeliveryCase) -> float:
+        """Share of messages that ended in ``case``."""
+        total = self.total()
+        return self.case_counts.get(case, 0) / total if total else 0.0
+
+
+class DeliveryTracker(ProducerListener):
+    """Applies Fig. 2 transitions as producer/broker events occur.
+
+    Parameters
+    ----------
+    retries_allowed:
+        Whether the producer's semantics can retry (at-least-once /
+        exactly-once).  Under at-most-once the V edge (persisted but
+        unacknowledged) does not exist: the producer neither waits for
+        acknowledgements nor retries, so a transport-level hiccup after
+        the broker persisted the message leaves it simply *Delivered*.
+    """
+
+    def __init__(self, retries_allowed: bool = True) -> None:
+        self.retries_allowed = retries_allowed
+        self.machines: Dict[int, MessageStateMachine] = {}
+        self.ingest_times: Dict[int, float] = {}
+        self.ack_latencies: Dict[int, float] = {}
+        self._clock: Optional[object] = None
+
+    def attach_clock(self, simulator) -> None:
+        """Give the tracker access to simulated time (for ingest stamps)."""
+        self._clock = simulator
+
+    def _machine(self, record: ProducerRecord) -> MessageStateMachine:
+        machine = self.machines.get(record.key)
+        if machine is None:
+            machine = MessageStateMachine()
+            self.machines[record.key] = machine
+        return machine
+
+    # ------------------------------------------------- producer-side view
+
+    def on_ingest(self, record: ProducerRecord) -> None:
+        self._machine(record)
+        if record.ingest_time is not None:
+            self.ingest_times[record.key] = record.ingest_time
+
+    def on_queue_drop(self, record: ProducerRecord) -> None:
+        machine = self._machine(record)
+        if machine.state is MessageState.READY:
+            machine.apply(Transition.II)
+
+    def on_expired(self, record: ProducerRecord, after_send: bool) -> None:
+        machine = self._machine(record)
+        if machine.state is MessageState.READY:
+            machine.apply(Transition.II)
+        elif machine.state is MessageState.DELIVERED and self.retries_allowed:
+            # Persisted, but the producer gives up for lack of an ack.
+            machine.apply(Transition.V)
+
+    def on_attempt_failed(self, record: ProducerRecord, attempt: int) -> None:
+        machine = self._machine(record)
+        if machine.state is MessageState.READY:
+            machine.apply(Transition.II)
+        elif machine.state is MessageState.LOST:
+            machine.apply(Transition.III)
+        elif machine.state is MessageState.DELIVERED and self.retries_allowed:
+            machine.apply(Transition.V)
+        # DUPLICATED is terminal; later failures change nothing.
+
+    def on_acknowledged(self, record: ProducerRecord, rtt_s: float) -> None:
+        self.ack_latencies[record.key] = rtt_s
+
+    def on_perceived_lost(self, record: ProducerRecord) -> None:
+        machine = self._machine(record)
+        if machine.state is MessageState.READY:
+            machine.apply(Transition.II)
+
+    # --------------------------------------------------- cluster's truth
+
+    def on_append(self, record: ProducerRecord, partition: Partition, offset: int) -> None:
+        """Cluster append listener: a copy of ``record`` was persisted."""
+        machine = self._machine(record)
+        if machine.state is MessageState.READY:
+            machine.apply(Transition.I)
+        elif machine.state is MessageState.LOST:
+            if machine.persisted:
+                machine.apply(Transition.VI)
+            else:
+                machine.apply(Transition.IV)
+        elif machine.state is MessageState.DELIVERED:
+            # A retransmitted request persisted again before the producer
+            # noticed anything wrong: ack-loss race, Fig. 2's V then VI.
+            machine.apply(Transition.V)
+            machine.apply(Transition.VI)
+        elif machine.state is MessageState.DUPLICATED:
+            machine.apply(Transition.VI)
+
+    # ------------------------------------------------------------ census
+
+    def census(self) -> CaseCensus:
+        """Classify every tracked message into its Table I case."""
+        census = CaseCensus()
+        for machine in self.machines.values():
+            if machine.state is MessageState.READY:
+                census.unresolved += 1
+                continue
+            case = machine.classify_case()
+            census.case_counts[case] = census.case_counts.get(case, 0) + 1
+        return census
+
+    def persisted_but_unacked(self) -> int:
+        """Messages the producer believes lost that the cluster holds once.
+
+        These diverge from the paper's producer-view Case 3: consumer
+        reconciliation counts them as delivered.
+        """
+        return sum(
+            1
+            for machine in self.machines.values()
+            if machine.state is MessageState.LOST and machine.persisted
+        )

@@ -1,0 +1,96 @@
+"""Integration test: the closed-loop online configuration experiment."""
+
+import pytest
+
+from repro.kafka import DEFAULT_PRODUCER_CONFIG, ProducerConfig
+from repro.kpi import (
+    KpiWeights,
+    OnlineDynamicController,
+    run_online_experiment,
+    run_traced_experiment,
+)
+from repro.models import FeatureVector, ReliabilityEstimate
+from repro.network import NetworkTrace, TracePoint
+from repro.performance import ProducerPerformanceModel
+from repro.workloads import WEB_ACCESS_LOGS
+
+
+class AnalyticPredictor:
+    """Loss grows with loss rate, shrinks with batching — enough structure
+    for the controller to make sensible moves without ANN training."""
+
+    def predict_vector(self, vector: FeatureVector) -> ReliabilityEstimate:
+        loss = min(1.0, (vector.loss_rate * 2.5 + vector.network_delay_s) / vector.batch_size)
+        dup = 0.01 if vector.semantics.waits_for_ack else 0.0
+        return ReliabilityEstimate(p_loss=loss, p_duplicate=dup)
+
+
+@pytest.fixture
+def trace():
+    return NetworkTrace(interval_s=30, points=[
+        TracePoint(0.0, 0.02, 0.0),
+        TracePoint(30.0, 0.08, 0.18),
+        TracePoint(60.0, 0.08, 0.18),
+        TracePoint(90.0, 0.03, 0.02),
+    ])
+
+
+def make_controller(**kwargs):
+    return OnlineDynamicController(
+        AnalyticPredictor(),
+        ProducerPerformanceModel(),
+        weights=KpiWeights.of(WEB_ACCESS_LOGS.kpi_weights),
+        gamma_requirement=0.97,
+        **kwargs,
+    )
+
+
+def test_online_loop_runs_and_aggregates(trace):
+    report = run_online_experiment(
+        trace, WEB_ACCESS_LOGS, make_controller(),
+        reconfig_interval_s=30.0, messages_cap_per_interval=80, seed=5,
+    )
+    assert report.policy == "online"
+    assert len(report.intervals) == 4
+    assert 0.0 <= report.rates.r_loss <= 1.0
+
+
+def test_online_adapts_during_loss_episode(trace):
+    """After the first lossy interval, the controller must batch up."""
+    controller = make_controller()
+    decisions = []
+    original = controller.decide
+
+    def spy(estimate, stream, current):
+        decided = original(estimate, stream, current)
+        decisions.append(decided.batch_size)
+        return decided
+
+    controller.decide = spy
+    run_online_experiment(
+        trace, WEB_ACCESS_LOGS, controller,
+        reconfig_interval_s=30.0, messages_cap_per_interval=80, seed=5,
+    )
+    assert max(decisions) > 1
+
+
+def test_online_no_worse_than_default_on_this_trace(trace):
+    online = run_online_experiment(
+        trace, WEB_ACCESS_LOGS, make_controller(),
+        reconfig_interval_s=30.0, messages_cap_per_interval=120, seed=7,
+    )
+    default = run_traced_experiment(
+        trace, WEB_ACCESS_LOGS, static_config=DEFAULT_PRODUCER_CONFIG,
+        messages_cap_per_interval=120, seed=7,
+    )
+    assert online.rates.r_loss <= default.rates.r_loss + 0.05
+
+
+def test_online_respects_start_config(trace):
+    start = ProducerConfig(batch_size=3, message_timeout_s=2.0)
+    report = run_online_experiment(
+        trace, WEB_ACCESS_LOGS, make_controller(),
+        start=start, reconfig_interval_s=30.0,
+        messages_cap_per_interval=60, seed=9,
+    )
+    assert len(report.intervals) == 4

@@ -1,0 +1,69 @@
+"""Integration tests for scaled producer fleets (Section IV-C)."""
+
+import pytest
+
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario, run_experiment, run_scaled_experiment
+
+
+BASE = Scenario(
+    message_bytes=200,
+    message_count=1200,
+    seed=5,
+    arrival_rate=24.0,
+    config=ProducerConfig(message_timeout_s=1.0),
+)
+
+
+def test_scaling_relieves_overload():
+    single = run_experiment(BASE)
+    fleet = run_scaled_experiment(BASE, producers=4)
+    assert single.p_loss > 0.3
+    assert fleet.p_loss < 0.1
+
+
+def test_fleet_conserves_all_keys():
+    result = run_scaled_experiment(BASE.with_(message_count=900), producers=3)
+    # check_conservation ran inside; produced must equal the request.
+    assert result.produced == 900
+
+
+def test_one_producer_fleet_matches_single_experiment_shape():
+    scenario = BASE.with_(arrival_rate=6.0, message_count=600)
+    single = run_experiment(scenario)
+    fleet = run_scaled_experiment(scenario, producers=1)
+    assert abs(single.p_loss - fleet.p_loss) < 0.05
+
+
+def test_fault_applies_to_every_member():
+    scenario = BASE.with_(
+        loss_rate=0.2,
+        network_delay_s=0.1,
+        arrival_rate=8.0,
+        message_count=900,
+        config=BASE.config.with_(
+            semantics=DeliverySemantics.AT_MOST_ONCE, message_timeout_s=0.5
+        ),
+    )
+    fleet = run_scaled_experiment(scenario, producers=3)
+    assert fleet.p_loss > 0.02  # faults visible through every uplink
+
+
+def test_uneven_message_split_covers_total():
+    result = run_scaled_experiment(
+        BASE.with_(message_count=1001, arrival_rate=9.0), producers=3
+    )
+    assert result.produced == 1001
+
+
+def test_producers_validation():
+    with pytest.raises(ValueError):
+        run_scaled_experiment(BASE, producers=0)
+
+
+def test_scaled_run_is_deterministic():
+    scenario = BASE.with_(message_count=600, arrival_rate=12.0)
+    first = run_scaled_experiment(scenario, producers=2)
+    second = run_scaled_experiment(scenario, producers=2)
+    assert first.p_loss == second.p_loss
+    assert first.p_duplicate == second.p_duplicate

@@ -1,0 +1,102 @@
+"""Integration tests pinning the semantics-dependent behaviours."""
+
+import pytest
+
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario, run_experiment
+
+
+LOSSY = dict(loss_rate=0.18, network_delay_s=0.08, message_bytes=150, message_count=400)
+
+
+def run_with(semantics, **overrides):
+    base = dict(LOSSY)
+    config_kwargs = overrides.pop("config_kwargs", {})
+    base.update(overrides)
+    config = ProducerConfig(
+        semantics=semantics, message_timeout_s=4.0, request_timeout_s=1.0,
+        **config_kwargs,
+    )
+    return run_experiment(Scenario(seed=9, config=config, **base))
+
+
+def test_at_least_once_recovers_more_than_at_most_once():
+    amo = run_with(DeliverySemantics.AT_MOST_ONCE)
+    alo = run_with(DeliverySemantics.AT_LEAST_ONCE, arrival_rate=5.0)
+    amo_rate = run_with(DeliverySemantics.AT_MOST_ONCE, arrival_rate=5.0)
+    assert alo.p_loss <= amo_rate.p_loss
+
+
+def test_duplicates_require_acknowledgement_path():
+    amo = run_with(DeliverySemantics.AT_MOST_ONCE, arrival_rate=6.0)
+    assert amo.p_duplicate == 0.0
+
+
+def test_exactly_once_fences_duplicates_under_retries():
+    eos = run_with(DeliverySemantics.EXACTLY_ONCE, arrival_rate=6.0)
+    assert eos.p_duplicate == 0.0
+
+
+def test_exactly_once_matches_at_least_once_loss_profile():
+    """Idempotence removes duplicates without adding losses."""
+    alo = run_with(DeliverySemantics.AT_LEAST_ONCE, arrival_rate=4.0)
+    eos = run_with(DeliverySemantics.EXACTLY_ONCE, arrival_rate=4.0)
+    assert abs(eos.p_loss - alo.p_loss) < 0.15
+
+
+def test_batching_reduces_loss_under_packet_loss():
+    single = run_with(
+        DeliverySemantics.AT_LEAST_ONCE, config_kwargs={"batch_size": 1}
+    )
+    batched = run_with(
+        DeliverySemantics.AT_LEAST_ONCE, config_kwargs={"batch_size": 6}
+    )
+    assert batched.p_loss < single.p_loss
+
+
+def test_larger_timeout_reduces_loss_at_full_load():
+    tight = run_with(
+        DeliverySemantics.AT_MOST_ONCE, loss_rate=0.0, network_delay_s=0.0,
+        message_bytes=200, config_kwargs={},
+    )
+    generous = run_experiment(
+        Scenario(
+            seed=9, message_bytes=200, message_count=400,
+            config=ProducerConfig(
+                semantics=DeliverySemantics.AT_MOST_ONCE, message_timeout_s=6.0
+            ),
+        )
+    )
+    tight = run_experiment(
+        Scenario(
+            seed=9, message_bytes=200, message_count=400,
+            config=ProducerConfig(
+                semantics=DeliverySemantics.AT_MOST_ONCE, message_timeout_s=0.4
+            ),
+        )
+    )
+    assert generous.p_loss < tight.p_loss
+
+
+def test_polling_throttle_reduces_loss():
+    full_load = run_experiment(
+        Scenario(
+            seed=10, message_bytes=200, message_count=400,
+            config=ProducerConfig(
+                semantics=DeliverySemantics.AT_MOST_ONCE,
+                message_timeout_s=0.5,
+                polling_interval_s=0.0,
+            ),
+        )
+    )
+    throttled = run_experiment(
+        Scenario(
+            seed=10, message_bytes=200, message_count=400,
+            config=ProducerConfig(
+                semantics=DeliverySemantics.AT_MOST_ONCE,
+                message_timeout_s=0.5,
+                polling_interval_s=0.09,
+            ),
+        )
+    )
+    assert throttled.p_loss < full_load.p_loss

@@ -1,0 +1,89 @@
+"""Property-based tests on consumer-group invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kafka import KafkaCluster
+from repro.kafka.group import ConsumerGroup
+from repro.simulation import Simulator
+
+
+def make_group(partitions, member_count):
+    sim = Simulator()
+    cluster = KafkaCluster(sim, broker_count=3)
+    topic = cluster.create_topic("t", partitions=partitions)
+    group = ConsumerGroup(cluster, topic, group_id="g")
+    members = [group.join(f"m{index:03d}") for index in range(member_count)]
+    return group, members, topic
+
+
+@given(
+    partitions=st.integers(min_value=1, max_value=16),
+    member_count=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_assignment_is_a_partition_of_partitions(partitions, member_count):
+    group, _, _ = make_group(partitions, member_count)
+    assigned = [p for parts in group.assignment.values() for p in parts]
+    assert sorted(assigned) == list(range(partitions))  # no overlap, no gap
+
+
+@given(
+    partitions=st.integers(min_value=1, max_value=16),
+    member_count=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_assignment_is_balanced(partitions, member_count):
+    group, _, _ = make_group(partitions, member_count)
+    sizes = [len(parts) for parts in group.assignment.values()]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(
+    partitions=st.integers(min_value=1, max_value=8),
+    member_count=st.integers(min_value=1, max_value=5),
+    messages=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=30, deadline=None)
+def test_group_consumes_every_message_exactly_once(partitions, member_count, messages):
+    group, members, topic = make_group(partitions, member_count)
+    for key in range(messages):
+        topic.partitions[key % partitions].append(key, 10, timestamp=0.0)
+    seen = []
+    for member in members:
+        seen.extend(entry.key for entry in member.poll(max_records=10_000))
+    assert sorted(seen) == list(range(messages))
+
+
+@given(
+    leavers=st.integers(min_value=0, max_value=4),
+    partitions=st.integers(min_value=2, max_value=12),
+)
+@settings(max_examples=30, deadline=None)
+def test_rebalance_keeps_cover_after_leaves(leavers, partitions):
+    group, members, _ = make_group(partitions, 5)
+    for index in range(leavers):
+        group.leave(f"m{index:03d}")
+    assigned = [p for parts in group.assignment.values() for p in parts]
+    assert sorted(assigned) == list(range(partitions))
+
+
+@given(
+    commit_at=st.integers(min_value=0, max_value=40),
+    messages=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=30, deadline=None)
+def test_committed_prefix_never_redelivered_to_successor(commit_at, messages):
+    group, members, topic = make_group(1, 1)
+    for key in range(messages):
+        topic.partitions[0].append(key, 10, timestamp=0.0)
+    member = members[0]
+    first = member.poll(max_records=min(commit_at, messages) or 1)
+    if commit_at:
+        member.commit()
+    group.leave("m000")
+    successor = group.join("m-new")
+    redelivered = {entry.key for entry in successor.poll(max_records=10_000)}
+    if commit_at:
+        committed_keys = {entry.key for entry in first}
+        assert not (committed_keys & redelivered)

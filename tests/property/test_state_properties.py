@@ -1,0 +1,89 @@
+"""Property-based tests on the Fig. 2 state machine.
+
+Invariant: whatever legal transition sequence a message takes, its final
+classification is one of the five Table I cases, successes are exactly the
+Delivered endings, and the persisted flag matches whether any I/IV/VI edge
+occurred.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kafka.state import (
+    DeliveryCase,
+    IllegalTransition,
+    MessageState,
+    MessageStateMachine,
+    Transition,
+)
+
+_LEGAL_NEXT = {
+    MessageState.READY: [Transition.I, Transition.II],
+    MessageState.DELIVERED: [Transition.V],
+    MessageState.LOST: [Transition.III, Transition.IV, Transition.VI],
+    MessageState.DUPLICATED: [Transition.VI],
+}
+
+
+@st.composite
+def legal_walks(draw):
+    """Generate random legal transition sequences."""
+    machine = MessageStateMachine()
+    length = draw(st.integers(min_value=1, max_value=12))
+    walk = []
+    for _ in range(length):
+        options = list(_LEGAL_NEXT[machine.state])
+        # VI is only legal once a copy is persisted.
+        if machine.state is MessageState.LOST and not machine.persisted:
+            options.remove(Transition.VI)
+        transition = draw(st.sampled_from(options))
+        machine.apply(transition)
+        walk.append(transition)
+    return walk
+
+
+@given(legal_walks())
+def test_any_legal_walk_classifies_into_table_one(walk):
+    machine = MessageStateMachine()
+    for transition in walk:
+        machine.apply(transition)
+    case = machine.classify_case()
+    assert case in DeliveryCase
+    if machine.state is MessageState.DELIVERED:
+        assert case.is_success
+    if machine.state is MessageState.DUPLICATED:
+        assert case is DeliveryCase.CASE5
+    if machine.state is MessageState.LOST and not machine.persisted:
+        assert case.is_loss_failure
+
+
+@given(legal_walks())
+def test_persisted_flag_matches_history(walk):
+    machine = MessageStateMachine()
+    for transition in walk:
+        machine.apply(transition)
+    has_persist_edge = any(
+        t in (Transition.I, Transition.IV, Transition.VI) for t in walk
+    )
+    assert machine.persisted == has_persist_edge
+
+
+@given(legal_walks())
+def test_duplicate_count_only_grows_with_vi(walk):
+    machine = MessageStateMachine()
+    for transition in walk:
+        machine.apply(transition)
+    assert machine.duplicate_count == walk.count(Transition.VI)
+
+
+@given(st.lists(st.sampled_from(list(Transition)), min_size=1, max_size=8))
+def test_illegal_sequences_raise_not_corrupt(transitions):
+    """Applying arbitrary transitions either succeeds legally or raises
+    IllegalTransition, leaving the machine in a valid state."""
+    machine = MessageStateMachine()
+    for transition in transitions:
+        try:
+            machine.apply(transition)
+        except IllegalTransition:
+            pass
+        assert machine.state in MessageState

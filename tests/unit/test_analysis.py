@@ -1,0 +1,97 @@
+"""Unit tests for figure series, tables and ASCII plots."""
+
+import pytest
+
+from repro.analysis import FigureSeries, ascii_plot, comparison_table, render_table
+
+
+def make_series():
+    series = FigureSeries("Fig X", "M (bytes)", "P_l", x=[100, 200, 300])
+    series.add_curve("at-most-once", [0.8, 0.3, 0.1])
+    series.add_curve("at-least-once", [0.9, 0.4, 0.05])
+    return series
+
+
+class TestFigureSeries:
+    def test_add_curve_length_checked(self):
+        series = FigureSeries("t", "x", "y", x=[1, 2])
+        with pytest.raises(ValueError):
+            series.add_curve("bad", [1.0])
+
+    def test_curve_lookup(self):
+        series = make_series()
+        assert series.curve("at-most-once") == [0.8, 0.3, 0.1]
+
+    def test_crossover_interpolates(self):
+        series = FigureSeries("t", "x", "y", x=[0, 10])
+        series.add_curve("a", [0.0, 1.0])
+        series.add_curve("b", [1.0, 0.0])
+        assert series.crossover("a", "b") == pytest.approx(5.0)
+
+    def test_crossover_none_when_parallel(self):
+        series = FigureSeries("t", "x", "y", x=[0, 10])
+        series.add_curve("a", [0.0, 0.1])
+        series.add_curve("b", [1.0, 1.1])
+        assert series.crossover("a", "b") is None
+
+    def test_crossover_at_exact_point(self):
+        series = FigureSeries("t", "x", "y", x=[0, 5, 10])
+        series.add_curve("a", [0.0, 0.5, 1.0])
+        series.add_curve("b", [0.5, 0.5, 0.2])
+        assert series.crossover("a", "b") == pytest.approx(5.0)
+
+    def test_to_rows_shape(self):
+        rows = make_series().to_rows()
+        assert rows[0] == ["M (bytes)", "at-most-once", "at-least-once"]
+        assert len(rows) == 4
+
+
+class TestRenderTable:
+    def test_renders_header_separator(self):
+        text = render_table([["a", "b"], ["1", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "-+-" in lines[1]
+
+    def test_title_prepended(self):
+        text = render_table([["a"]], title="Caption")
+        assert text.splitlines()[0] == "Caption"
+
+    def test_alignment_pads_columns(self):
+        text = render_table([["name", "v"], ["long-name", "1"]])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[2].index("|")
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([])
+
+
+class TestComparisonTable:
+    def test_verdict_column(self):
+        text = comparison_table(
+            "Fig 4",
+            [("crossover", "~200 B", "240 B", True), ("gap", ">20pt", "5pt", False)],
+        )
+        assert "OK" in text
+        assert "DIVERGES" in text
+
+
+class TestAsciiPlot:
+    def test_plot_contains_markers_and_legend(self):
+        text = ascii_plot(make_series(), width=40, height=8)
+        assert "*" in text
+        assert "at-most-once" in text
+
+    def test_plot_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot(make_series(), width=4, height=2)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot(FigureSeries("t", "x", "y"), width=40, height=8)
+
+    def test_constant_series_plots(self):
+        series = FigureSeries("t", "x", "y", x=[1, 2])
+        series.add_curve("flat", [0.5, 0.5])
+        assert "flat" in ascii_plot(series, width=30, height=6)

@@ -1,0 +1,193 @@
+"""Unit tests for the sequential network, data utilities and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.ann import (
+    Dense,
+    MinMaxScaler,
+    PAPER_HIDDEN_LAYERS,
+    SGD,
+    Sequential,
+    StandardScaler,
+    build_mlp,
+    iterate_minibatches,
+    load_model,
+    mae,
+    max_error,
+    r2_score,
+    rmse,
+    save_model,
+    train_test_split,
+)
+
+
+class TestBuildMlp:
+    def test_paper_topology(self):
+        net = build_mlp(6, 2)
+        widths = [(l.in_features, l.out_features) for l in net.layers]
+        assert widths == [(6, 200), (200, 200), (200, 200), (200, 64), (64, 2)]
+        assert PAPER_HIDDEN_LAYERS == (200, 200, 200, 64)
+
+    def test_sigmoid_output_bounds_predictions(self):
+        net = build_mlp(3, 2, hidden=(8,), seed=1)
+        out = net.predict(np.random.default_rng(0).normal(size=(20, 3)) * 100)
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+    def test_seed_reproducibility(self):
+        a = build_mlp(3, 1, hidden=(8,), seed=5)
+        b = build_mlp(3, 1, hidden=(8,), seed=5)
+        x = np.ones((2, 3))
+        assert np.array_equal(a.predict(x), b.predict(x))
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            build_mlp(0, 1)
+
+
+class TestFit:
+    def test_learns_linear_function(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = (0.25 + 0.25 * x[:, 0] - 0.25 * x[:, 1])[:, None]
+        net = build_mlp(2, 1, hidden=(16,), seed=0)
+        net.fit(x, y, epochs=200, optimizer=SGD(0.5), rng=rng)
+        assert mae(net.predict(x), y) < 0.03
+
+    def test_history_records_epochs(self):
+        x = np.zeros((10, 1))
+        y = np.full((10, 1), 0.5)
+        net = build_mlp(1, 1, hidden=(4,))
+        history = net.fit(x, y, epochs=5)
+        assert history.epochs_run == 5
+        assert len(history.train_loss) == 5
+
+    def test_early_stopping_with_patience(self):
+        x = np.zeros((20, 1))
+        y = np.full((20, 1), 0.5)
+        net = build_mlp(1, 1, hidden=(4,))
+        history = net.fit(
+            x, y, epochs=500, validation=(x, y), patience=3
+        )
+        assert history.stopped_early
+        assert history.epochs_run < 500
+
+    def test_patience_requires_validation(self):
+        net = build_mlp(1, 1, hidden=(4,))
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((5, 1)), np.zeros((5, 1)), patience=3)
+
+    def test_shape_validation(self):
+        net = build_mlp(2, 1, hidden=(4,))
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((5, 2)), np.zeros((4, 1)))
+
+    def test_evaluate_returns_loss(self):
+        net = build_mlp(1, 1, hidden=(4,))
+        value = net.evaluate(np.zeros((5, 1)), np.full((5, 1), 0.5), loss="mse")
+        assert value >= 0.0
+
+
+class TestDataUtilities:
+    def test_split_sizes(self):
+        x = np.arange(100).reshape(50, 2)
+        y = np.arange(50).reshape(50, 1)
+        x_train, x_test, y_train, y_test = train_test_split(x, y, 0.2)
+        assert x_train.shape[0] == 40
+        assert x_test.shape[0] == 10
+        assert y_train.shape[0] == 40
+
+    def test_split_partitions_rows(self):
+        x = np.arange(20).reshape(10, 2)
+        y = np.arange(10).reshape(10, 1)
+        x_train, x_test, _, _ = train_test_split(x, y, 0.3)
+        combined = np.vstack([x_train, x_test])
+        assert sorted(map(tuple, combined)) == sorted(map(tuple, x))
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 1)), np.zeros((5, 1)), 1.5)
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((1, 1)), np.zeros((1, 1)), 0.2)
+
+    def test_minibatches_cover_all_rows(self):
+        x = np.arange(10).reshape(10, 1)
+        y = x.copy()
+        seen = []
+        for xb, _ in iterate_minibatches(x, y, 3):
+            seen.extend(xb[:, 0].tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_minibatch_shuffling(self):
+        x = np.arange(50).reshape(50, 1)
+        rng = np.random.default_rng(1)
+        first_batch = next(iter(iterate_minibatches(x, x, 10, rng)))[0]
+        assert not np.array_equal(first_batch[:, 0], np.arange(10))
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_std(self):
+        x = np.random.default_rng(0).normal(5.0, 3.0, size=(500, 2))
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_round_trip(self):
+        x = np.random.default_rng(1).normal(size=(20, 3))
+        scaler = StandardScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_standard_scaler_constant_column(self):
+        x = np.ones((10, 1))
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled, 0.0)
+
+    def test_minmax_scaler_range(self):
+        x = np.random.default_rng(2).uniform(-5, 5, size=(100, 2))
+        scaled = MinMaxScaler().fit_transform(x)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_scaler_dict_round_trip(self):
+        x = np.random.default_rng(3).normal(size=(10, 2))
+        scaler = StandardScaler().fit(x)
+        restored = StandardScaler.from_dict(scaler.to_dict())
+        assert np.allclose(restored.transform(x), scaler.transform(x))
+
+    def test_unfitted_scaler_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+
+class TestMetrics:
+    def test_mae_rmse_max_error(self):
+        predicted = np.array([[1.0], [3.0]])
+        target = np.array([[0.0], [0.0]])
+        assert mae(predicted, target) == pytest.approx(2.0)
+        assert rmse(predicted, target) == pytest.approx(np.sqrt(5.0))
+        assert max_error(predicted, target) == pytest.approx(3.0)
+
+    def test_r2_perfect_and_mean(self):
+        target = np.array([[1.0], [2.0], [3.0]])
+        assert r2_score(target, target) == pytest.approx(1.0)
+        mean_prediction = np.full_like(target, 2.0)
+        assert r2_score(mean_prediction, target) == pytest.approx(0.0)
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_predictions(self, tmp_path):
+        net = build_mlp(3, 2, hidden=(8, 4), seed=9)
+        save_model(net, tmp_path / "model")
+        restored = load_model(tmp_path / "model")
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        assert np.allclose(restored.predict(x), net.predict(x))
+
+    def test_architecture_preserved(self, tmp_path):
+        net = build_mlp(3, 1, hidden=(8,), hidden_activation="tanh", seed=0)
+        save_model(net, tmp_path / "model")
+        restored = load_model(tmp_path / "model")
+        assert restored.layers[0].activation.name == "tanh"
+
+    def test_sequential_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])

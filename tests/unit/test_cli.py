@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.command == "experiment"
+        assert args.message_bytes == 200
+        assert args.semantics == "at_least_once"
+
+    def test_experiment_options(self):
+        args = build_parser().parse_args([
+            "experiment", "--loss", "0.19", "--delay-ms", "100",
+            "--semantics", "at_most_once", "--batch-size", "4",
+        ])
+        assert args.loss == 0.19
+        assert args.delay_ms == 100
+        assert args.semantics == "at_most_once"
+        assert args.batch_size == 4
+
+    def test_train_options(self):
+        args = build_parser().parse_args([
+            "train", "--epochs", "10", "--registry", "/tmp/r", "--name", "m",
+        ])
+        assert args.epochs == 10
+        assert args.registry == "/tmp/r"
+
+    def test_dynamic_options(self):
+        args = build_parser().parse_args(["dynamic", "--gamma", "0.9"])
+        assert args.gamma == 0.9
+
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--semantics", "telepathy"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_experiment_command_runs(self, capsys):
+        code = main([
+            "experiment", "--messages", "200", "--message-bytes", "200",
+            "--seed", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P_l (loss)" in out
+        assert "Table I case" in out
+
+    def test_experiment_with_faults(self, capsys):
+        code = main([
+            "experiment", "--messages", "150", "--loss", "0.2",
+            "--delay-ms", "50", "--bursty-loss", "--seed", "5",
+        ])
+        assert code == 0
+        assert "95% CI" in capsys.readouterr().out
+
+    def test_train_command_small(self, capsys, tmp_path):
+        code = main([
+            "train", "--messages", "150", "--normal-rows", "24",
+            "--abnormal-rows", "32", "--epochs", "8",
+            "--registry", str(tmp_path), "--name", "tiny",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hold-out MAE" in out
+        assert (tmp_path / "tiny" / "manifest.json").exists()

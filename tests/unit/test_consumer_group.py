@@ -1,0 +1,158 @@
+"""Unit tests for consumer groups."""
+
+import pytest
+
+from repro.kafka import KafkaCluster
+from repro.kafka.group import ConsumerGroup
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def cluster():
+    sim = Simulator()
+    cluster = KafkaCluster(sim, broker_count=3)
+    topic = cluster.create_topic("events", partitions=6)
+    for key in range(60):
+        topic.partitions[key % 6].append(key, 10, timestamp=0.0)
+    return cluster
+
+
+@pytest.fixture
+def group(cluster):
+    return ConsumerGroup(cluster, "events", group_id="readers")
+
+
+class TestMembership:
+    def test_single_member_owns_everything(self, group):
+        member = group.join("a")
+        assert member.positions.keys() == {0, 1, 2, 3, 4, 5}
+
+    def test_range_assignment_is_balanced(self, group):
+        group.join("a")
+        group.join("b")
+        group.join("c")
+        sizes = [len(parts) for parts in group.assignment.values()]
+        assert sorted(sizes) == [2, 2, 2]
+        covered = sorted(p for parts in group.assignment.values() for p in parts)
+        assert covered == list(range(6))
+
+    def test_uneven_split_gives_remainder_to_first(self, group):
+        group.join("a")
+        group.join("b")
+        group.join("c")
+        group.join("d")
+        sizes = [len(group.assignment[m]) for m in sorted(group.assignment)]
+        assert sizes == [2, 2, 1, 1]
+
+    def test_more_members_than_partitions(self, cluster):
+        group = ConsumerGroup(cluster, "events", group_id="g")
+        for index in range(8):
+            group.join(f"m{index}")
+        empty = [m for m, parts in group.assignment.items() if not parts]
+        assert len(empty) == 2
+
+    def test_duplicate_join_rejected(self, group):
+        group.join("a")
+        with pytest.raises(ValueError):
+            group.join("a")
+
+    def test_leave_rebalances(self, group):
+        group.join("a")
+        member_b = group.join("b")
+        group.leave("a")
+        assert member_b.positions.keys() == {0, 1, 2, 3, 4, 5}
+
+    def test_leave_unknown_rejected(self, group):
+        with pytest.raises(KeyError):
+            group.leave("ghost")
+
+    def test_empty_group_id_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            ConsumerGroup(cluster, "events", group_id="")
+
+
+class TestConsumption:
+    def test_poll_reads_assigned_partitions_only(self, group):
+        group.join("a")
+        member_b = group.join("b")
+        entries = member_b.poll(max_records=100)
+        partitions = {entry.offset for entry in entries}  # offsets per partition
+        keys = {entry.key for entry in entries}
+        allowed = set()
+        for index in group.assignment["b"]:
+            allowed |= {e.key for e in group.topic.partitions[index].read()}
+        assert keys <= allowed
+
+    def test_group_covers_topic_exactly_once(self, group):
+        members = [group.join(name) for name in ("a", "b", "c")]
+        seen = []
+        for member in members:
+            seen.extend(entry.key for entry in member.poll(max_records=1000))
+        assert sorted(seen) == list(range(60))
+
+    def test_poll_advances_positions(self, group):
+        member = group.join("a")
+        first = member.poll(max_records=10)
+        second = member.poll(max_records=10)
+        assert not set(e.key for e in first) & set(e.key for e in second)
+
+    def test_commit_and_resume(self, group):
+        member = group.join("a")
+        member.poll(max_records=30)
+        member.commit()
+        # Simulate a crash/rejoin: new generation resumes from commits.
+        group.leave("a")
+        member2 = group.join("a2")
+        remaining = member2.poll(max_records=1000)
+        assert len(remaining) == 30
+
+    def test_uncommitted_records_are_redelivered(self, group):
+        member = group.join("a")
+        consumed = member.poll(max_records=30)
+        # no commit → rebalance redelivers (at-least-once consumption)
+        group.leave("a")
+        member2 = group.join("a2")
+        again = member2.poll(max_records=1000)
+        assert {e.key for e in consumed} <= {e.key for e in again}
+
+    def test_seek_rewinds(self, group):
+        member = group.join("a")
+        member.poll(max_records=100)
+        member.seek(0, 0)
+        replayed = member.poll(max_records=100)
+        assert any(entry.offset == 0 for entry in replayed)
+
+    def test_seek_unassigned_rejected(self, group):
+        member_a = group.join("a")
+        group.join("b")
+        foreign = group.assignment["b"][0]
+        with pytest.raises(ValueError):
+            member_a.seek(foreign, 0)
+
+    def test_poll_validation(self, group):
+        member = group.join("a")
+        with pytest.raises(ValueError):
+            member.poll(max_records=0)
+
+
+class TestLag:
+    def test_lag_counts_uncommitted(self, group):
+        assert group.total_lag() == 60
+        member = group.join("a")
+        member.poll(max_records=1000)
+        member.commit()
+        assert group.total_lag() == 0
+
+    def test_lag_after_new_appends(self, group):
+        member = group.join("a")
+        member.poll(max_records=1000)
+        member.commit()
+        group.topic.partitions[0].append(999, 10, timestamp=1.0)
+        assert group.total_lag() == 1
+
+    def test_commit_ignores_unassigned_partitions(self, group):
+        member_a = group.join("a")
+        group.join("b")
+        foreign = group.assignment["b"][0]
+        group.commit("a", {foreign: 100})
+        assert group.committed_offsets().get(foreign, 0) == 0

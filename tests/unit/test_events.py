@@ -1,0 +1,99 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.simulation.events import Event, EventQueue, HIGH_PRIORITY, LOW_PRIORITY
+
+
+def test_push_pop_single_event():
+    queue = EventQueue()
+    fired = []
+    queue.push(1.0, fired.append, "a")
+    event = queue.pop()
+    event.fire()
+    assert fired == ["a"]
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventQueue()
+    queue.push(3.0, lambda: None)
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    times = [queue.pop().time for _ in range(3)]
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_same_time_orders_by_priority_then_insertion():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, order.append, "normal-first")
+    queue.push(1.0, order.append, "high", priority=HIGH_PRIORITY)
+    queue.push(1.0, order.append, "low", priority=LOW_PRIORITY)
+    queue.push(1.0, order.append, "normal-second")
+    while queue:
+        queue.pop().fire()
+    assert order == ["high", "normal-first", "normal-second", "low"]
+
+
+def test_len_counts_live_events_only():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.cancel(first)
+    assert len(queue) == 1
+
+
+def test_cancelled_event_is_skipped_on_pop():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(first)
+    assert queue.pop().time == 2.0
+    assert queue.pop() is None
+
+
+def test_double_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled_head():
+    queue = EventQueue()
+    head = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    queue.cancel(head)
+    assert queue.peek_time() == 5.0
+
+
+def test_peek_time_empty_queue_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_clear_drops_everything():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert not queue
+    assert queue.pop() is None
+
+
+def test_event_fire_passes_args():
+    received = []
+    event = Event(0.0, 0, 0, lambda a, b: received.append((a, b)), (1, 2))
+    event.fire()
+    assert received == [(1, 2)]
+
+
+def test_bool_reflects_liveness():
+    queue = EventQueue()
+    assert not queue
+    event = queue.push(1.0, lambda: None)
+    assert queue
+    queue.cancel(event)
+    assert not queue

@@ -1,0 +1,52 @@
+"""Unit tests for series/result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import FigureSeries
+from repro.analysis.export import results_to_json, series_to_csv, series_to_json
+from repro.testbed import ExperimentResult
+
+
+@pytest.fixture
+def series():
+    s = FigureSeries("Fig", "x", "y", x=[1.0, 2.0])
+    s.add_curve("a", [0.1, 0.2])
+    s.add_curve("b", [0.3, 0.4])
+    return s
+
+
+def test_series_to_csv_round_trip(series, tmp_path):
+    path = series_to_csv(series, tmp_path / "fig.csv")
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["x", "a", "b"]
+    assert rows[1] == ["1", "0.1000", "0.3000"]
+    assert len(rows) == 3
+
+
+def test_series_to_json_structure(series, tmp_path):
+    path = series_to_json(series, tmp_path / "fig.json")
+    payload = json.loads(path.read_text())
+    assert payload["title"] == "Fig"
+    assert payload["curves"]["b"] == [0.3, 0.4]
+    assert payload["x"] == [1.0, 2.0]
+
+
+def test_results_to_json(tmp_path):
+    result = ExperimentResult(
+        message_bytes=200, timeliness_s=None, network_delay_s=0.0, loss_rate=0.1,
+        semantics="at_least_once", batch_size=1, polling_interval_s=0.0,
+        message_timeout_s=1.5, produced=100, p_loss=0.2, p_duplicate=0.0,
+    )
+    path = results_to_json([result], tmp_path / "rows.json")
+    payload = json.loads(path.read_text())
+    assert payload[0]["p_loss"] == 0.2
+    assert payload[0]["message_bytes"] == 200
+
+
+def test_export_creates_parent_dirs(series, tmp_path):
+    path = series_to_csv(series, tmp_path / "deep" / "dir" / "fig.csv")
+    assert path.exists()

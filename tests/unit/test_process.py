@@ -1,0 +1,122 @@
+"""Unit tests for coroutine processes and signals."""
+
+import pytest
+
+from repro.simulation import Signal, Simulator, spawn
+
+
+def test_process_sleeps_for_yielded_delays():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append(sim.now)
+        yield 1.5
+        trace.append(sim.now)
+        yield 0.5
+        trace.append(sim.now)
+
+    spawn(sim, worker())
+    sim.run()
+    assert trace == [0.0, 1.5, 2.0]
+
+
+def test_process_completion_signal_carries_return_value():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        return 42
+
+    process = spawn(sim, worker())
+    sim.run()
+    assert process.done
+    assert process.result == 42
+    assert process.completion.triggered
+    assert process.completion.value == 42
+
+
+def test_process_waits_on_signal():
+    sim = Simulator()
+    gate = Signal(sim, name="gate")
+    trace = []
+
+    def worker():
+        value = yield gate
+        trace.append((sim.now, value))
+
+    spawn(sim, worker())
+    sim.schedule(3.0, gate.trigger, "opened")
+    sim.run()
+    assert trace == [(3.0, "opened")]
+
+
+def test_waiting_on_already_triggered_signal_resumes_immediately():
+    sim = Simulator()
+    gate = Signal(sim)
+    gate.trigger("early")
+    trace = []
+
+    def worker():
+        value = yield gate
+        trace.append(value)
+
+    spawn(sim, worker())
+    sim.run()
+    assert trace == ["early"]
+
+
+def test_signal_trigger_twice_raises():
+    sim = Simulator()
+    signal = Signal(sim)
+    signal.trigger()
+    with pytest.raises(RuntimeError):
+        signal.trigger()
+
+
+def test_signal_resumes_waiters_in_registration_order():
+    sim = Simulator()
+    signal = Signal(sim)
+    order = []
+    signal.add_waiter(lambda _: order.append("first"))
+    signal.add_waiter(lambda _: order.append("second"))
+    signal.trigger()
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_process_yielding_bad_type_raises():
+    sim = Simulator()
+
+    def worker():
+        yield "not a delay"
+
+    spawn(sim, worker())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_process_negative_sleep_raises():
+    sim = Simulator()
+
+    def worker():
+        yield -1.0
+
+    spawn(sim, worker())
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    trace = []
+
+    def worker(name, delay):
+        for _ in range(2):
+            yield delay
+            trace.append((name, sim.now))
+
+    spawn(sim, worker("fast", 1.0))
+    spawn(sim, worker("slow", 1.6))
+    sim.run()
+    assert trace == [("fast", 1.0), ("slow", 1.6), ("fast", 2.0), ("slow", 3.2)]

@@ -1,0 +1,65 @@
+"""Unit tests for model-registry edge cases and serialisation errors."""
+
+import pytest
+
+from repro.ann import Dense, Sequential, load_model, save_model
+from repro.models import ModelRegistry, ReliabilityPredictor
+
+
+class TestRegistryValidation:
+    def test_invalid_name_rejected(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(ValueError):
+            registry.save("", ReliabilityPredictor())
+        with pytest.raises(ValueError):
+            registry.save("a/b", ReliabilityPredictor())
+
+    def test_untrained_predictor_not_saved(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(ValueError):
+            registry.save("empty", ReliabilityPredictor())
+
+    def test_list_models_on_missing_root(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "does-not-exist")
+        assert registry.list_models() == []
+
+    def test_delete_missing_model_is_noop(self, tmp_path):
+        ModelRegistry(tmp_path).delete("ghost")
+
+    def test_directories_without_manifest_ignored(self, tmp_path):
+        (tmp_path / "stray").mkdir()
+        assert ModelRegistry(tmp_path).list_models() == []
+
+
+class TestSerialisationErrors:
+    def test_unknown_layer_type_rejected_on_save(self, tmp_path):
+        class Custom(Dense):
+            pass
+
+        # A subclass is fine; a genuinely foreign layer is not.
+        class Foreign:
+            def parameters(self):
+                return []
+
+            def forward(self, x, training=False):
+                return x
+
+        model = Sequential([Foreign()])
+        with pytest.raises(TypeError):
+            save_model(model, tmp_path / "model")
+
+    def test_bad_format_version_rejected(self, tmp_path):
+        import json
+
+        model = Sequential([Dense(2, 1)])
+        save_model(model, tmp_path / "model")
+        spec_path = tmp_path / "model" / "architecture.json"
+        spec = json.loads(spec_path.read_text())
+        spec["format_version"] = 999
+        spec_path.write_text(json.dumps(spec))
+        with pytest.raises(ValueError):
+            load_model(tmp_path / "model")
+
+    def test_missing_model_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope")

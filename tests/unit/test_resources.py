@@ -1,0 +1,108 @@
+"""Unit tests for FIFO stores and token buckets."""
+
+import pytest
+
+from repro.simulation import FifoStore, Simulator, StoreFull, TokenBucket
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = FifoStore(sim)
+    store.put("a")
+    signal = store.get()
+    assert signal.triggered
+    assert signal.value == "a"
+
+
+def test_store_is_fifo():
+    sim = Simulator()
+    store = FifoStore(sim)
+    for item in ("a", "b", "c"):
+        store.put(item)
+    assert [store.get().value for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = FifoStore(sim)
+    signal = store.get()
+    assert not signal.triggered
+    sim.schedule(1.0, store.put, "late")
+    sim.run()
+    assert signal.triggered
+    assert signal.value == "late"
+
+
+def test_bounded_store_rejects_when_full():
+    sim = Simulator()
+    store = FifoStore(sim, capacity=1)
+    store.put("a")
+    assert store.is_full
+    assert store.try_put("b") is False
+    with pytest.raises(StoreFull):
+        store.put("b")
+
+
+def test_store_put_hands_straight_to_waiting_getter():
+    sim = Simulator()
+    store = FifoStore(sim, capacity=1)
+    signal = store.get()
+    store.put("x")
+    assert len(store) == 0
+    sim.run()
+    assert signal.value == "x"
+
+
+def test_store_capacity_validation():
+    with pytest.raises(ValueError):
+        FifoStore(Simulator(), capacity=0)
+
+
+def test_store_drain_empties_buffer():
+    sim = Simulator()
+    store = FifoStore(sim)
+    store.put(1)
+    store.put(2)
+    assert store.drain() == [1, 2]
+    assert len(store) == 0
+
+
+def test_bucket_acquire_release_cycle():
+    sim = Simulator()
+    bucket = TokenBucket(sim, tokens=2)
+    first = bucket.acquire()
+    second = bucket.acquire()
+    third = bucket.acquire()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert bucket.available == 0
+    bucket.release()
+    sim.run()
+    assert third.triggered
+    assert bucket.in_use == 2
+
+
+def test_bucket_release_without_acquire_raises():
+    bucket = TokenBucket(Simulator(), tokens=1)
+    with pytest.raises(RuntimeError):
+        bucket.release()
+
+
+def test_bucket_waiters_served_fifo():
+    sim = Simulator()
+    bucket = TokenBucket(sim, tokens=1)
+    bucket.acquire()
+    order = []
+    first = bucket.acquire()
+    second = bucket.acquire()
+    first.add_waiter(lambda _: order.append("first"))
+    second.add_waiter(lambda _: order.append("second"))
+    bucket.release()
+    bucket.release()
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_bucket_requires_positive_tokens():
+    with pytest.raises(ValueError):
+        TokenBucket(Simulator(), tokens=0)

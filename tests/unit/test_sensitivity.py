@@ -1,0 +1,97 @@
+"""Unit tests for the Section III-D sensitivity screen."""
+
+import pytest
+
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import Scenario
+from repro.testbed.sensitivity import (
+    DEFAULT_CANDIDATES,
+    ParameterSensitivity,
+    analyze_sensitivity,
+)
+
+
+def make_entry(delta_loss=0.0, delta_dup=0.0):
+    return ParameterSensitivity(
+        parameter="p",
+        baseline_value=1.0,
+        low_value=0.5,
+        high_value=1.5,
+        baseline_p_loss=0.2,
+        low_p_loss=0.2 + delta_loss,
+        high_p_loss=0.2,
+        baseline_p_duplicate=0.01,
+        low_p_duplicate=0.01,
+        high_p_duplicate=0.01 + delta_dup,
+    )
+
+
+class TestParameterSensitivity:
+    def test_max_delta_takes_worst_direction(self):
+        entry = make_entry(delta_loss=0.15, delta_dup=0.02)
+        assert entry.max_delta == pytest.approx(0.15)
+
+    def test_sensitivity_threshold(self):
+        assert make_entry(delta_loss=0.05).is_sensitive(0.02)
+        assert not make_entry(delta_loss=0.005).is_sensitive(0.02)
+
+    def test_duplicate_metric_counts(self):
+        assert make_entry(delta_dup=0.05).is_sensitive(0.02)
+
+
+class TestAnalyze:
+    @pytest.fixture(scope="class")
+    def report(self):
+        baseline = Scenario(
+            message_bytes=200,
+            message_count=500,
+            seed=19,
+            config=ProducerConfig(
+                semantics=DeliverySemantics.AT_MOST_ONCE,
+                message_timeout_s=0.6,
+            ),
+        )
+        return analyze_sensitivity(
+            baseline,
+            candidates=[
+                "message_bytes",
+                "config.message_timeout_s",
+                "config.polling_interval_s",
+                "config.retry_backoff_s",
+            ],
+            perturbation=0.5,
+        )
+
+    def test_one_entry_per_candidate(self, report):
+        assert len(report.entries) == 4
+
+    def test_timeout_is_sensitive_at_full_load(self, report):
+        selected = report.selected_features(threshold=0.02)
+        assert "config.message_timeout_s" in selected
+
+    def test_retry_backoff_is_insensitive_for_at_most_once(self, report):
+        # At-most-once never retries: backoff cannot matter.
+        entry = next(
+            e for e in report.entries if e.parameter == "config.retry_backoff_s"
+        )
+        assert entry.max_delta < 0.02
+
+    def test_ranking_is_descending(self, report):
+        deltas = [entry.max_delta for entry in report.ranked()]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_zero_valued_parameter_probed_upward(self, report):
+        entry = next(
+            e for e in report.entries if e.parameter == "config.polling_interval_s"
+        )
+        assert entry.baseline_value == 0.0
+        assert entry.high_value > 0.0
+
+    def test_perturbation_validation(self):
+        with pytest.raises(ValueError):
+            analyze_sensitivity(Scenario(message_count=10), perturbation=1.5)
+
+    def test_default_candidates_cover_paper_parameters(self):
+        assert "config.batch_size" in DEFAULT_CANDIDATES
+        assert "config.message_timeout_s" in DEFAULT_CANDIDATES
+        assert "message_bytes" in DEFAULT_CANDIDATES

@@ -1,0 +1,117 @@
+"""Unit tests for the Fig. 2 message state machine and Table I cases."""
+
+import pytest
+
+from repro.kafka import (
+    DeliveryCase,
+    IllegalTransition,
+    MessageState,
+    MessageStateMachine,
+    Transition,
+)
+
+
+def walk(*transitions):
+    machine = MessageStateMachine()
+    for transition in transitions:
+        machine.apply(transition)
+    return machine
+
+
+class TestTransitions:
+    def test_initial_state_is_ready(self):
+        assert MessageStateMachine().state is MessageState.READY
+
+    def test_transition_i_delivers(self):
+        assert walk(Transition.I).state is MessageState.DELIVERED
+
+    def test_transition_ii_loses(self):
+        assert walk(Transition.II).state is MessageState.LOST
+
+    def test_transition_iii_keeps_lost(self):
+        assert walk(Transition.II, Transition.III).state is MessageState.LOST
+
+    def test_transition_iv_recovers(self):
+        assert walk(Transition.II, Transition.IV).state is MessageState.DELIVERED
+
+    def test_transition_v_loses_after_delivery(self):
+        assert walk(Transition.I, Transition.V).state is MessageState.LOST
+
+    def test_transition_vi_duplicates(self):
+        machine = walk(Transition.I, Transition.V, Transition.VI)
+        assert machine.state is MessageState.DUPLICATED
+
+    def test_illegal_from_ready(self):
+        for transition in (Transition.III, Transition.IV, Transition.V, Transition.VI):
+            with pytest.raises(IllegalTransition):
+                MessageStateMachine().apply(transition)
+
+    def test_illegal_from_delivered(self):
+        machine = walk(Transition.I)
+        for transition in (Transition.I, Transition.II, Transition.III, Transition.IV):
+            with pytest.raises(IllegalTransition):
+                machine.apply(transition)
+
+    def test_duplicated_is_terminal_except_vi(self):
+        machine = walk(Transition.II, Transition.IV, Transition.V, Transition.VI)
+        machine.apply(Transition.VI)  # extra duplicate copies allowed
+        assert machine.state is MessageState.DUPLICATED
+        with pytest.raises(IllegalTransition):
+            machine.apply(Transition.I)
+
+
+class TestTableICases:
+    def test_case1_initial_success(self):
+        assert walk(Transition.I).classify_case() is DeliveryCase.CASE1
+
+    def test_case2_initial_failure(self):
+        assert walk(Transition.II).classify_case() is DeliveryCase.CASE2
+
+    def test_case3_retries_exhausted(self):
+        machine = walk(Transition.II, Transition.III, Transition.III)
+        assert machine.classify_case() is DeliveryCase.CASE3
+
+    def test_case4_retry_success(self):
+        machine = walk(Transition.II, Transition.III, Transition.IV)
+        assert machine.classify_case() is DeliveryCase.CASE4
+
+    def test_case5_paper_order(self):
+        """Table I: II → τ_r·III → IV → V → τ_d·VI."""
+        machine = walk(
+            Transition.II, Transition.III, Transition.IV,
+            Transition.V, Transition.VI,
+        )
+        assert machine.classify_case() is DeliveryCase.CASE5
+
+    def test_case5_after_clean_first_delivery(self):
+        """I → V → VI also ends Duplicated (ack-loss after clean send)."""
+        machine = walk(Transition.I, Transition.V, Transition.VI)
+        assert machine.classify_case() is DeliveryCase.CASE5
+
+    def test_unresolved_message_has_no_case(self):
+        with pytest.raises(ValueError):
+            MessageStateMachine().classify_case()
+
+    def test_success_flags(self):
+        assert DeliveryCase.CASE1.is_success
+        assert DeliveryCase.CASE4.is_success
+        assert DeliveryCase.CASE2.is_loss_failure
+        assert DeliveryCase.CASE3.is_loss_failure
+        assert DeliveryCase.CASE5.is_duplicate_failure
+        assert not DeliveryCase.CASE5.is_success
+
+
+class TestCounters:
+    def test_retry_count_counts_iii_and_iv(self):
+        machine = walk(Transition.II, Transition.III, Transition.III, Transition.IV)
+        assert machine.retry_count == 3
+
+    def test_duplicate_count_counts_vi(self):
+        machine = walk(Transition.I, Transition.V, Transition.VI, Transition.VI)
+        assert machine.duplicate_count == 2
+
+    def test_persisted_tracks_cluster_copies(self):
+        assert not walk(Transition.II).persisted
+        assert walk(Transition.I).persisted
+        assert walk(Transition.I, Transition.V).persisted
+        assert walk(Transition.II, Transition.IV).persisted
