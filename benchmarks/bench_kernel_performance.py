@@ -36,6 +36,33 @@ def test_kernel_event_throughput(benchmark):
     assert result > 0
 
 
+def test_kernel_cancel_heavy_throughput(benchmark):
+    """Timer churn: every event arms a timeout the next event cancels.
+
+    This is the producer's per-message expiry pattern and the worst case
+    for the queue — most heap entries die cancelled, so it exercises the
+    lazy-skip path and periodic compaction."""
+
+    def run():
+        sim = Simulator()
+        count = 20_000
+        pending = [None]
+
+        def fire(remaining):
+            if pending[0] is not None:
+                sim.cancel(pending[0])
+            if remaining:
+                pending[0] = sim.schedule(5.0, lambda: None)
+                sim.schedule(0.001, fire, remaining - 1)
+
+        fire(count)
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
 def test_produce_roundtrip_throughput(benchmark):
     """Full produce→ack cycles through link, transport, broker and log."""
 

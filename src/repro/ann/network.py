@@ -12,7 +12,6 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .data import iterate_minibatches
 from .layers import Dense, Layer
 from .losses import Loss, get_loss
 from .optimizers import Optimizer, get_optimizer
@@ -130,18 +129,35 @@ class Sequential:
         best_weights: Optional[List[np.ndarray]] = None
         stale = 0
         parameters = self.parameters()
+        # Hoisted out of the batch loop: the decayed-weight list never
+        # changes, and per-epoch gather-once/slice-views beats per-batch
+        # fancy indexing (identical batches, far less numpy overhead).
+        decayed = (
+            [
+                weight
+                for weight in (
+                    getattr(layer, "weight", None) for layer in self.layers
+                )
+                if weight is not None
+            ]
+            if weight_decay > 0.0
+            else []
+        )
+        count = x.shape[0]
         for epoch in range(epochs):
             epoch_loss = 0.0
             batches = 0
-            for xb, yb in iterate_minibatches(x, y, batch_size, rng):
+            order = rng.permutation(count)
+            x_epoch = x[order]
+            y_epoch = y[order]
+            for start in range(0, count, batch_size):
+                xb = x_epoch[start : start + batch_size]
+                yb = y_epoch[start : start + batch_size]
                 predicted = self.forward(xb, training=True)
                 value, grad = loss_fn.value_and_grad(predicted, yb)
                 self.backward(grad)
-                if weight_decay > 0.0:
-                    for layer in self.layers:
-                        weight = getattr(layer, "weight", None)
-                        if weight is not None:
-                            weight.grad += weight_decay * weight.value
+                for weight in decayed:
+                    weight.grad += weight_decay * weight.value
                 optimizer.step(parameters)
                 epoch_loss += value
                 batches += 1

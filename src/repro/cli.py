@@ -29,7 +29,13 @@ from .models import ModelRegistry, TrainingSettings, train_reliability_model
 from .network import generate_paper_trace
 from .performance import ProducerPerformanceModel
 from .simulation import RngRegistry
-from .testbed import Scenario, abnormal_case_plan, normal_case_plan, run_experiment
+from .testbed import (
+    ResultCache,
+    Scenario,
+    abnormal_case_plan,
+    normal_case_plan,
+    run_many,
+)
 from .workloads import PAPER_STREAMS
 
 __all__ = ["main", "build_parser"]
@@ -43,9 +49,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="experiment pool size (default: $REPRO_WORKERS, "
+                 "else cpu_count - 1)",
+        )
+        command.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="reuse measured results from (and write new ones to) "
+                 "this cache directory",
+        )
+
     experiment = sub.add_parser(
         "experiment", help="run one testbed experiment and print P_l / P_d"
     )
+    add_engine_options(experiment)
     experiment.add_argument("--message-bytes", type=int, default=200, metavar="M")
     experiment.add_argument("--delay-ms", type=float, default=0.0, metavar="D")
     experiment.add_argument("--loss", type=float, default=0.0, metavar="L")
@@ -62,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--bursty-loss", action="store_true")
 
     train = sub.add_parser("train", help="collect data and train the predictor")
+    add_engine_options(train)
     train.add_argument("--messages", type=int, default=2000,
                        help="messages per collection experiment")
     train.add_argument("--normal-rows", type=int, default=60)
@@ -93,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    return ResultCache(args.cache_dir) if args.cache_dir else None
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     scenario = Scenario(
         message_bytes=args.message_bytes,
@@ -108,7 +132,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             message_timeout_s=args.timeout_s,
         ),
     )
-    result = run_experiment(scenario)
+    [result] = run_many(
+        [scenario], workers=args.workers or 1, cache=_build_cache(args)
+    )
     low, high = result.p_loss_ci
     rows = [
         ["metric", "value"],
@@ -143,7 +169,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
             sys.stdout.write(f"\rcollecting {index + 1}/{total}...")
             sys.stdout.flush()
 
-    report = train_reliability_model(plans=plans, settings=settings, progress=progress)
+    report = train_reliability_model(
+        plans=plans,
+        settings=settings,
+        progress=progress,
+        workers=args.workers,
+        cache=_build_cache(args),
+    )
     print(f"\rcollected {report.train_rows + report.test_rows} rows")
     rows = [["submodel", "rows"]]
     for key, count in sorted(report.submodel_rows.items()):

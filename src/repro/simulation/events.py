@@ -6,13 +6,19 @@ Events are ordered by ``(time, priority, seq)`` so that simultaneous events
 run in a deterministic order: first by explicit priority, then by insertion
 order.  Determinism matters here because experiments must be exactly
 reproducible from a seed.
+
+Performance note: the heap stores plain ``(time, priority, seq, event)``
+tuples rather than the :class:`Event` objects themselves.  ``seq`` is
+unique, so tuple comparison never reaches the fourth element and every
+sift comparison stays in C instead of dispatching to a Python-level
+``__lt__``.  Experiments schedule tens of millions of events, which makes
+this the hottest comparison site of the whole testbed.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 __all__ = ["Event", "EventQueue", "NORMAL_PRIORITY", "HIGH_PRIORITY", "LOW_PRIORITY"]
 
@@ -81,14 +87,23 @@ class Event:
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects.
 
-    Cancellation is lazy: cancelled events stay in the heap and are skipped
-    on pop, which keeps :meth:`cancel` O(1).
+    Cancellation is lazy: cancelled events stay in the heap (as dead
+    entries) and are pruned when they surface at the head — the single
+    compaction path shared by :meth:`pop` and :meth:`peek_time` — which
+    keeps :meth:`cancel` O(1).  When dead entries outnumber the live ones
+    (beyond a small floor) the whole heap is compacted in one pass so a
+    cancel-heavy workload cannot grow the heap without bound.
     """
 
+    #: Compaction trigger: rebuild once at least this many dead entries
+    #: accumulate *and* they outnumber the live entries.
+    COMPACT_MIN_DEAD = 64
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list = []
+        self._next_seq = 0
         self._live = 0
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live
@@ -104,36 +119,87 @@ class EventQueue:
         priority: int = NORMAL_PRIORITY,
     ) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
-        event = Event(time, priority, next(self._counter), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, priority, seq, callback, args)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
+    def _prune_head(self) -> None:
+        """Drop dead (cancelled) entries from the heap top.
+
+        The one compaction path: :meth:`pop`, :meth:`pop_entry` and
+        :meth:`peek_time` all perform this prune (inlined in the first
+        two), so the heap head is always a live entry afterwards and
+        ``len(self)`` never drifts from the live count.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None when empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            return event
-        return None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:  # inline _prune_head
+            heapq.heappop(heap)
+            self._dead -= 1
+        if not heap:
+            return None
+        self._live -= 1
+        return heapq.heappop(heap)[3]
+
+    def pop_entry(self) -> Optional[Tuple[float, Event]]:
+        """Like :meth:`pop` but returns ``(time, event)`` without touching
+        the event's attributes (the simulator's hot loop)."""
+        heap = self._heap
+        while heap and heap[0][3].cancelled:  # inline _prune_head
+            heapq.heappop(heap)
+            self._dead -= 1
+        if not heap:
+            return None
+        self._live -= 1
+        entry = heapq.heappop(heap)
+        return entry[0], entry[3]
+
+    def unpop(self, event: Event) -> None:
+        """Reinsert an event obtained from :meth:`pop`.
+
+        The original ``seq`` is preserved, so ordering relative to every
+        other entry is exactly what it was before the pop.
+        """
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
+        self._live += 1
 
     def peek_time(self) -> Optional[float]:
         """Return the fire time of the next live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        self._prune_head()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously pushed event (no-op if already cancelled)."""
         if not event.cancelled:
-            event.cancel()
+            event.cancelled = True
             self._live -= 1
+            self._dead += 1
+            if self._dead >= self.COMPACT_MIN_DEAD and self._dead > self._live:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its dead entries (one O(n) pass).
+
+        In place (slice assignment) so callers holding a reference to the
+        heap list — the simulator's run loop — stay valid.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()
         self._live = 0
+        self._dead = 0

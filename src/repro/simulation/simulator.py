@@ -9,6 +9,7 @@ events, so a run is exactly reproducible given the same seed and schedule.
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Any, Callable, Optional
 
 from .events import Event, EventQueue, NORMAL_PRIORITY
@@ -152,16 +153,33 @@ class Simulator:
         self._stopped = False
         self._running = True
         processed = 0
+        # Hot loop: operates on the queue's heap directly so each event
+        # costs one C-level heappop instead of a peek-then-pop pair of
+        # method calls.  EventQueue guarantees the list identity survives
+        # cancel/compact/clear (all mutate in place), so the local binding
+        # stays valid across callbacks.
+        queue = self._queue
+        heap = queue._heap
         try:
             while not self._stopped:
                 if max_events is not None and processed >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                while heap and heap[0][3].cancelled:
+                    heappop(heap)
+                    queue._dead -= 1
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                time = heap[0][0]
+                if until is not None and time > until:
                     break
-                self.step()
+                event = heappop(heap)[3]
+                queue._live -= 1
+                if time < self._now:
+                    raise SimulationError(
+                        "event queue returned an event in the past"
+                    )
+                self._now = time
+                event.callback(*event.args)
                 processed += 1
         finally:
             self._running = False

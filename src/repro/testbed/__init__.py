@@ -4,8 +4,12 @@ One :class:`Scenario` fixes the paper's Eq. 1 features; ``run_experiment``
 executes it against a freshly wired simulated Kafka system and returns the
 measured reliability metrics.  ``sweep`` runs feature grids and
 ``collection`` implements the paper's Fig. 3 training-data design.
+``run_many`` is the parallel engine underneath both (process-pool fan-out
+with deterministic ordering) and ``ResultCache`` persists measured rows
+across runs.
 """
 
+from .cache import ResultCache, scenario_fingerprint
 from .collection import (
     CollectionPlan,
     abnormal_case_plan,
@@ -13,6 +17,12 @@ from .collection import (
     normal_case_plan,
 )
 from .experiment import Experiment, run_experiment
+from .runner import (
+    ExperimentFailed,
+    RunFailure,
+    resolve_workers,
+    run_many,
+)
 from .scaled import ScaledExperiment, run_scaled_experiment
 from .sensitivity import (
     DEFAULT_CANDIDATES,
@@ -22,10 +32,17 @@ from .sensitivity import (
 )
 from .results import ExperimentResult, load_results_csv, save_results_csv, wilson_interval
 from .scenario import Scenario
-from .sweep import apply_axis, mean_metric, replicate, sweep
+from .sweep import apply_axis, derive_seed, mean_metric, replicate, sweep
 from .tracker import CaseCensus, DeliveryTracker
 
 __all__ = [
+    "ResultCache",
+    "scenario_fingerprint",
+    "run_many",
+    "resolve_workers",
+    "RunFailure",
+    "ExperimentFailed",
+    "derive_seed",
     "CollectionPlan",
     "normal_case_plan",
     "abnormal_case_plan",

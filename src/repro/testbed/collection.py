@@ -28,8 +28,9 @@ import numpy as np
 
 from ..kafka.config import ProducerConfig
 from ..kafka.semantics import DeliverySemantics
-from .experiment import run_experiment
+from .cache import ResultCache
 from .results import ExperimentResult
+from .runner import run_many
 from .scenario import Scenario
 from .sweep import apply_axis
 
@@ -135,14 +136,18 @@ def abnormal_case_plan(
 def collect_training_data(
     plans: Sequence[CollectionPlan],
     progress: Optional[Callable[[int, int, Scenario], None]] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[ExperimentResult]:
-    """Run every scenario of every plan and return the measured rows."""
+    """Run every scenario of every plan and return the measured rows.
+
+    ``workers`` fans the collection out over a process pool and ``cache``
+    reuses rows measured by earlier collections (see
+    :func:`~repro.testbed.runner.run_many`); the rows are identical to a
+    serial run either way.  ``progress(index, total, scenario)`` fires as
+    each row completes.
+    """
     scenarios: List[Scenario] = []
     for plan in plans:
         scenarios.extend(plan.scenarios())
-    results: List[ExperimentResult] = []
-    for index, scenario in enumerate(scenarios):
-        if progress is not None:
-            progress(index, len(scenarios), scenario)
-        results.append(run_experiment(scenario))
-    return results
+    return run_many(scenarios, workers=workers, cache=cache, progress=progress)

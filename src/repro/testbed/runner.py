@@ -1,0 +1,202 @@
+"""The parallel experiment engine.
+
+Every experiment is a pure function of its :class:`Scenario` (the seed
+fixes all random streams and unique keys restart per run), so a grid of
+scenarios is embarrassingly parallel: :func:`run_many` fans the work out
+over a spawn-based :mod:`multiprocessing` pool and returns results in the
+input order, bit-identical to running the same scenarios serially.
+
+Worker count resolution (:func:`resolve_workers`):
+
+1. an explicit ``workers=`` argument wins,
+2. else the ``REPRO_WORKERS`` environment variable,
+3. else ``os.cpu_count() - 1`` (at least 1).
+
+``workers=1`` (or a single scenario) short-circuits to an in-process loop
+with no pool overhead.  A :class:`~repro.testbed.cache.ResultCache` can be
+threaded through so already-measured rows are reused instead of re-run;
+fresh measurements are written back to the cache as they complete.
+
+Failures inside a worker never take the whole grid down silently: each
+scenario's exception is captured with its traceback and either re-raised
+as :class:`ExperimentFailed` (default) or returned in-slot as a
+:class:`RunFailure` (``on_error="collect"``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache
+from .experiment import run_experiment
+from .results import ExperimentResult
+from .scenario import Scenario
+
+__all__ = [
+    "WORKERS_ENV_VAR",
+    "RunFailure",
+    "ExperimentFailed",
+    "resolve_workers",
+    "run_many",
+]
+
+#: Environment variable consulted when ``workers`` is not given.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Progress callback signature: ``(index, total, scenario)`` where
+#: ``index`` is the completed scenario's position in the input sequence.
+ProgressFn = Callable[[int, int, Scenario], None]
+
+
+@dataclass
+class RunFailure:
+    """A captured per-scenario failure (``on_error="collect"`` slot)."""
+
+    scenario: Scenario
+    error: str
+    traceback: str
+
+    def __bool__(self) -> bool:  # failed slots are falsy for easy filtering
+        return False
+
+
+class ExperimentFailed(RuntimeError):
+    """One or more scenarios of a :func:`run_many` grid raised."""
+
+    def __init__(self, failures: Sequence[RunFailure]) -> None:
+        self.failures = list(failures)
+        first = self.failures[0]
+        extra = (
+            f" (+{len(self.failures) - 1} more)" if len(self.failures) > 1 else ""
+        )
+        super().__init__(
+            f"{len(self.failures)} scenario(s) failed{extra}; first: "
+            f"{first.error}\n{first.traceback}"
+        )
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count (argument > env > cpu_count-1)."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = max(1, (os.cpu_count() or 2) - 1)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+def _run_one(scenario: Scenario) -> Tuple[bool, object]:
+    """Pool worker: run one scenario, capturing any exception.
+
+    Top-level so it is picklable under the spawn start method.  Returns
+    ``(True, result)`` or ``(False, (error_repr, traceback_text))``.
+    """
+    try:
+        return True, run_experiment(scenario)
+    except Exception as exc:  # noqa: BLE001 - captured per scenario by design
+        return False, (repr(exc), traceback.format_exc())
+
+
+def run_many(
+    scenarios: Sequence[Scenario],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+    on_error: str = "raise",
+    chunksize: Optional[int] = None,
+) -> List[Union[ExperimentResult, RunFailure]]:
+    """Run many experiments, in parallel, in deterministic input order.
+
+    Parameters
+    ----------
+    scenarios:
+        The grid to measure (any iterable of :class:`Scenario`).
+    workers:
+        Pool size; see :func:`resolve_workers` for defaulting.  The pool
+        is capped at the number of scenarios actually needing a run.
+    cache:
+        Optional result cache; hits skip the run, fresh results are
+        written back.
+    progress:
+        ``progress(index, total, scenario)`` invoked as each scenario
+        completes (cache hits report immediately).
+    on_error:
+        ``"raise"`` (default) raises :class:`ExperimentFailed` after the
+        grid drains; ``"collect"`` leaves a :class:`RunFailure` in the
+        failed slot instead.
+    chunksize:
+        Scenarios handed to a worker per dispatch; defaults to a value
+        that gives each worker ~4 chunks for even load with low IPC.
+
+    Returns
+    -------
+    list
+        One entry per scenario, same order as the input.  Entries are
+        :class:`ExperimentResult`, or :class:`RunFailure` under
+        ``on_error="collect"``.
+    """
+    if on_error not in ("raise", "collect"):
+        raise ValueError('on_error must be "raise" or "collect"')
+    scenarios = list(scenarios)
+    total = len(scenarios)
+    results: List[Union[ExperimentResult, RunFailure, None]] = [None] * total
+    pending: List[int] = []
+    for index, scenario in enumerate(scenarios):
+        hit = cache.get(scenario) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            if progress is not None:
+                progress(index, total, scenario)
+        else:
+            pending.append(index)
+
+    failures: List[RunFailure] = []
+
+    def record(index: int, ok: bool, payload: object) -> None:
+        scenario = scenarios[index]
+        if ok:
+            results[index] = payload
+            if cache is not None:
+                cache.put(scenario, payload)
+        else:
+            error, trace = payload
+            failure = RunFailure(scenario=scenario, error=error, traceback=trace)
+            results[index] = failure
+            failures.append(failure)
+        if progress is not None:
+            progress(index, total, scenario)
+
+    if pending:
+        workers = min(resolve_workers(workers), len(pending))
+        if workers <= 1:
+            for index in pending:
+                ok, payload = _run_one(scenarios[index])
+                record(index, ok, payload)
+        else:
+            if chunksize is None:
+                chunksize = max(1, len(pending) // (workers * 4))
+            context = multiprocessing.get_context("spawn")
+            with context.Pool(processes=workers) as pool:
+                outcomes = pool.imap(
+                    _run_one,
+                    [scenarios[index] for index in pending],
+                    chunksize=chunksize,
+                )
+                for index, (ok, payload) in zip(pending, outcomes):
+                    record(index, ok, payload)
+
+    if failures and on_error == "raise":
+        raise ExperimentFailed(failures)
+    return results  # type: ignore[return-value]  # every slot is filled

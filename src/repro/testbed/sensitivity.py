@@ -11,10 +11,11 @@ deltas on the testbed, and rank the parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .experiment import run_experiment
+from .cache import ResultCache
 from .results import ExperimentResult
+from .runner import run_many
 from .scenario import Scenario
 from .sweep import apply_axis
 
@@ -101,6 +102,8 @@ def analyze_sensitivity(
     candidates: Optional[Sequence[str]] = None,
     perturbation: float = 0.5,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> SensitivityReport:
     """Run the Section III-D screen around ``baseline``.
 
@@ -113,7 +116,12 @@ def analyze_sensitivity(
     perturbation:
         Fractional change applied in each direction (paper: 0.5).
     progress:
-        Optional callback invoked with each parameter name.
+        Optional callback invoked with each parameter name as its probe
+        scenarios are scheduled.
+    workers / cache:
+        Process-pool size and result cache, forwarded to
+        :func:`~repro.testbed.runner.run_many`; the whole screen (one
+        baseline plus up to two probes per candidate) runs as one batch.
 
     Parameters whose baseline value is 0 are perturbed upward only (a
     -50 % change of zero is zero); the upward probe uses a representative
@@ -122,13 +130,15 @@ def analyze_sensitivity(
     if not 0.0 < perturbation < 1.0:
         raise ValueError("perturbation must be in (0, 1)")
     candidates = list(candidates) if candidates is not None else list(DEFAULT_CANDIDATES)
-    baseline_result = run_experiment(baseline)
-    report = SensitivityReport(baseline=baseline_result)
     zero_probe = {
         "config.polling_interval_s": 0.03,
         "config.linger_s": 0.05,
         "config.retry_backoff_s": 0.05,
     }
+    # Schedule the baseline (slot 0) plus every probe as one batch so the
+    # pool drains the whole screen at once.
+    jobs: List[Scenario] = [baseline]
+    specs: List[Tuple[str, float, float, float, int, int]] = []
     for parameter in candidates:
         if progress is not None:
             progress(parameter)
@@ -139,12 +149,22 @@ def analyze_sensitivity(
         else:
             high_value = _perturbed(value, 1.0 + perturbation, parameter)
             low_value = _perturbed(value, 1.0 - perturbation, parameter)
-        low_result = (
-            baseline_result
-            if low_value == value
-            else run_experiment(apply_axis(baseline, parameter, low_value))
+        if low_value == value:
+            low_index = 0
+        else:
+            low_index = len(jobs)
+            jobs.append(apply_axis(baseline, parameter, low_value))
+        high_index = len(jobs)
+        jobs.append(apply_axis(baseline, parameter, high_value))
+        specs.append(
+            (parameter, value, low_value, high_value, low_index, high_index)
         )
-        high_result = run_experiment(apply_axis(baseline, parameter, high_value))
+    results = run_many(jobs, workers=workers, cache=cache)
+    baseline_result = results[0]
+    report = SensitivityReport(baseline=baseline_result)
+    for parameter, value, low_value, high_value, low_index, high_index in specs:
+        low_result = results[low_index]
+        high_result = results[high_index]
         report.entries.append(
             ParameterSensitivity(
                 parameter=parameter,

@@ -1,0 +1,55 @@
+"""Parallel path integration: pool results must equal serial bit-for-bit.
+
+The experiment is a pure function of its scenario, so fanning a grid out
+over spawn-based worker processes must return exactly the rows the serial
+loop measures — same P_l, P_d, timings, everything — in the same order.
+"""
+
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.testbed import ResultCache, Scenario, run_many, sweep
+from repro.testbed.sweep import grid_scenarios
+
+
+def small_grid():
+    base = Scenario(
+        message_count=250,
+        seed=21,
+        config=ProducerConfig(message_timeout_s=1.0),
+    )
+    return grid_scenarios(
+        base,
+        {
+            "message_bytes": [100, 400],
+            "loss_rate": [0.0, 0.12],
+            "config.semantics": [
+                DeliverySemantics.AT_MOST_ONCE,
+                DeliverySemantics.AT_LEAST_ONCE,
+            ],
+        },
+    )
+
+
+def test_run_many_parallel_matches_serial_exactly():
+    scenarios = small_grid()
+    serial = run_many(scenarios, workers=1)
+    parallel = run_many(scenarios, workers=4)
+    assert len(serial) == len(parallel) == len(scenarios)
+    for left, right in zip(serial, parallel):
+        # ExperimentResult is a dataclass: == compares every field,
+        # including float metrics, exactly.
+        assert left == right
+
+
+def test_sweep_workers_and_cache_match_serial(tmp_path):
+    base = Scenario(message_count=200, seed=8)
+    axes = {"message_bytes": [150, 300], "config.batch_size": [1, 2]}
+    serial = sweep(base, axes, workers=1)
+    cache = ResultCache(tmp_path, salt="t")
+    warm = sweep(base, axes, workers=2, cache=cache)
+    assert warm == serial
+    # Second pass is served entirely from the cache, still identical.
+    cache.reset_stats()
+    cached = sweep(base, axes, workers=2, cache=cache)
+    assert cached == serial
+    assert cache.hits == len(serial)
+    assert cache.misses == 0
