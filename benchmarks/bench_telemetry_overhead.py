@@ -1,0 +1,109 @@
+"""Telemetry overhead: disabled must be free, enabled must be cheap.
+
+The observability layer's design contract is that a run with
+``telemetry=None`` pays exactly one pointer comparison per emission site.
+This bench measures that claim and records it in ``BENCH_telemetry.json``
+at the repository root, next to ``BENCH_parallel.json``:
+
+* **disabled overhead** — the same 8-point grid timed on the current code
+  with ``telemetry=None``; since no pre-observability binary exists to
+  diff against, the recorded number is the grid wall-clock to be compared
+  against ``BENCH_parallel.json``'s serial baseline workload rate, and the
+  acceptance gate lives in the kernel microbenchmarks (< 5% regression).
+* **enabled overhead** — the identical grid with the ring-buffer tracer
+  and with a JSONL file tracer, reported as a ratio over disabled.
+
+Enabled tracing must also leave the measured outputs bit-identical: the
+tracer only observes, never perturbs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.testbed import Scenario, TelemetryConfig, run_many
+from repro.testbed.sweep import grid_scenarios
+
+from conftest import write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_telemetry.json"
+
+GRID_AXES = {
+    "message_bytes": [100, 400],
+    "loss_rate": [0.0, 0.05, 0.10, 0.15],
+}
+GRID_MESSAGES = 600
+
+#: Enabled-tracing overhead ceiling (ratio over disabled).  Tracing a run
+#: emits a few records per message; 2x leaves slack for slow CI hosts
+#: while still catching accidental hot-path work (observed ~1.1-1.3x).
+MAX_ENABLED_OVERHEAD = 2.0
+
+
+def _grid():
+    base = Scenario(message_count=GRID_MESSAGES, seed=33)
+    return grid_scenarios(base, GRID_AXES)
+
+
+def _best_of(fn, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_telemetry_overhead(tmp_path):
+    scenarios = _grid()
+
+    disabled_s, plain = _best_of(lambda: run_many(scenarios, workers=1))
+    ring_s, ring = _best_of(
+        lambda: run_many(scenarios, workers=1, telemetry=TelemetryConfig())
+    )
+    file_s, filed = _best_of(
+        lambda: run_many(
+            scenarios,
+            workers=1,
+            telemetry=TelemetryConfig(
+                trace_path=str(tmp_path / "t-{index}.jsonl")
+            ),
+        )
+    )
+
+    # Observation must not perturb the measured outputs.
+    assert plain == ring == filed
+
+    trace_events = sum(r.manifest["trace_events"] for r in ring)
+    ring_overhead = ring_s / disabled_s
+    file_overhead = file_s / disabled_s
+    assert ring_overhead < MAX_ENABLED_OVERHEAD, (
+        f"ring tracing costs {ring_overhead:.2f}x over disabled "
+        f"(ceiling {MAX_ENABLED_OVERHEAD}x)"
+    )
+
+    payload = {
+        "grid_points": len(scenarios),
+        "messages_per_point": GRID_MESSAGES,
+        "disabled_s": round(disabled_s, 4),
+        "ring_enabled_s": round(ring_s, 4),
+        "file_enabled_s": round(file_s, 4),
+        "ring_overhead": round(ring_overhead, 3),
+        "file_overhead": round(file_overhead, 3),
+        "trace_events": trace_events,
+        "results_bit_identical": True,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "telemetry overhead (8-point grid, serial)",
+        f"  disabled:      {disabled_s:.3f}s",
+        f"  ring tracer:   {ring_s:.3f}s ({ring_overhead:.2f}x)",
+        f"  file tracer:   {file_s:.3f}s ({file_overhead:.2f}x)",
+        f"  trace events:  {trace_events}",
+        f"[recorded to {BENCH_JSON.name}]",
+    ]
+    write_report("telemetry_overhead", "\n".join(lines))

@@ -1,9 +1,12 @@
 """Command-line interface for the reproduction toolkit.
 
-Three subcommands cover the paper's workflow:
+Four subcommands cover the paper's workflow:
 
 ``repro experiment``
     Run one testbed experiment and print the measured reliability.
+    ``--metrics`` emits the run's metrics + manifest as JSON instead of
+    the table; ``--trace-file`` writes the structured event trace as
+    JSONL for later ``repro inspect``.
 ``repro train``
     Collect Fig. 3 training data, train the ANN predictor, report MAE and
     optionally persist the model to a registry directory.
@@ -11,6 +14,9 @@ Three subcommands cover the paper's workflow:
     Generate a Fig. 9 trace, build the offline configuration plan with a
     stored (or freshly trained) model, replay default vs dynamic policies
     and print the Table II-style rates.
+``repro inspect``
+    Load a ``--trace-file`` JSONL trace, replay it through the invariant
+    checker and print a summary; exits non-zero on any violation.
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -19,10 +25,18 @@ Installed as the ``repro`` console script; also runnable via
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .analysis import render_table
+from .observability import (
+    InvariantViolation,
+    TelemetryConfig,
+    conservation_violations,
+    load_trace_file,
+    trace_violations,
+)
 from .kafka import DEFAULT_PRODUCER_CONFIG, DeliverySemantics, ProducerConfig
 from .kpi import DynamicConfigurationController, KpiWeights, run_traced_experiment
 from .models import ModelRegistry, TrainingSettings, train_reliability_model
@@ -79,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--messages", type=int, default=5000, metavar="N")
     experiment.add_argument("--seed", type=int, default=1)
     experiment.add_argument("--bursty-loss", action="store_true")
+    experiment.add_argument(
+        "--metrics", action="store_true",
+        help="print the run's metrics registry and manifest as JSON "
+             "(suppresses the table)",
+    )
+    experiment.add_argument(
+        "--trace-file", metavar="PATH", default=None,
+        help="write the structured event trace (JSONL) to PATH; "
+             "inspect it later with 'repro inspect PATH'",
+    )
 
     train = sub.add_parser("train", help="collect data and train the predictor")
     add_engine_options(train)
@@ -110,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--cap", type=int, default=300,
                          help="max messages per measured interval")
     dynamic.add_argument("--seed", type=int, default=2020)
+
+    inspect = sub.add_parser(
+        "inspect", help="verify a trace file against its run manifest"
+    )
+    inspect.add_argument("trace_file", metavar="TRACE_FILE",
+                         help="JSONL trace written by 'repro experiment --trace-file'")
     return parser
 
 
@@ -132,9 +162,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             message_timeout_s=args.timeout_s,
         ),
     )
+    telemetry = None
+    if args.metrics or args.trace_file:
+        telemetry = TelemetryConfig(trace_path=args.trace_file)
     [result] = run_many(
-        [scenario], workers=args.workers or 1, cache=_build_cache(args)
+        [scenario], workers=args.workers or 1, cache=_build_cache(args),
+        telemetry=telemetry,
     )
+    if args.metrics:
+        if result.manifest is None:
+            print(
+                "error: cached result carries no telemetry; "
+                "re-run without --cache-dir or clear the cache",
+                file=sys.stderr,
+            )
+            return 1
+        # Machine-readable mode: exactly one JSON document on stdout.
+        manifest = dict(result.manifest)
+        metrics = manifest.pop("metrics", {})
+        document = {"manifest": manifest, "metrics": metrics}
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     low, high = result.p_loss_ci
     rows = [
         ["metric", "value"],
@@ -237,6 +285,42 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    try:
+        events, manifest = load_trace_file(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    violations: List[str] = []
+    if manifest is None:
+        violations.append("no manifest line in the trace file")
+    else:
+        violations.extend(conservation_violations(manifest))
+        violations.extend(trace_violations(events, manifest))
+    kinds: dict = {}
+    for record in events:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+    summary = {
+        "trace_file": args.trace_file,
+        "events": len(events),
+        "kinds": dict(sorted(kinds.items())),
+        "manifest": {
+            key: manifest[key]
+            for key in (
+                "scenario_fingerprint", "seed", "produced", "case_counts",
+                "unresolved", "trace_events", "trace_digest", "trace_complete",
+            )
+            if key in manifest
+        }
+        if manifest is not None
+        else None,
+        "violations": violations,
+        "ok": not violations,
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if not violations else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -244,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "train": _cmd_train,
         "dynamic": _cmd_dynamic,
+        "inspect": _cmd_inspect,
     }
     return handlers[args.command](args)
 

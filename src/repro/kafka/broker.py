@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ..observability.trace import EventKind
 from ..simulation.simulator import Simulator
 from .config import BrokerConfig
 from .message import ProducerRecord
@@ -98,6 +99,13 @@ class Broker:
         self.requests_handled = 0
         self.requests_dropped = 0
         self._append_listeners: List[Callable[[ProducerRecord, Partition, int], None]] = []
+        self._tracer = None
+        self._metrics = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach run telemetry after construction (the cluster builds us)."""
+        self._tracer = telemetry.tracer
+        self._metrics = telemetry.metrics
 
     def add_append_listener(
         self, callback: Callable[[ProducerRecord, Partition, int], None]
@@ -125,6 +133,7 @@ class Broker:
         """
         if not self.available:
             self.requests_dropped += 1
+            self._record_drop(request, phase="queued")
             return
         now = self._sim.now
         finish = max(now, self._busy_until) + self.service_time(request)
@@ -139,6 +148,7 @@ class Broker:
         if not self.available:
             # Crashed while the request was being processed.
             self.requests_dropped += 1
+            self._record_drop(request, phase="processing")
             return
         self.requests_handled += 1
         base_offset: Optional[int] = None
@@ -161,6 +171,16 @@ class Broker:
             appended += 1
             if base_offset is None:
                 base_offset = offset
+            if self._tracer is not None:
+                self._tracer.emit(
+                    EventKind.APPEND,
+                    self._sim.now,
+                    key=record.key,
+                    broker=self.broker_id,
+                    offset=offset,
+                )
+            if self._metrics is not None:
+                self._metrics.counter("broker.appends").inc()
             for listener in self._append_listeners:
                 listener(record, request.partition, offset)
         if on_done is not None:
@@ -172,6 +192,19 @@ class Broker:
                     timestamp=self._sim.now,
                     appended=appended,
                 )
+            )
+
+    def _record_drop(self, request: ProduceRequest, phase: str) -> None:
+        """Telemetry for a silent drop by a crashed broker."""
+        if self._metrics is not None:
+            self._metrics.counter("broker.requests_dropped").inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                EventKind.BROKER_DROP,
+                self._sim.now,
+                broker=self.broker_id,
+                phase=phase,
+                records=len(request.records),
             )
 
     def crash(self) -> None:

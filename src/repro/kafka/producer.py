@@ -30,6 +30,8 @@ from typing import Deque, Dict, List, Optional
 from ..network.link import FORWARD, REVERSE
 from ..network.packet import WIRE_HEADER_BYTES
 from ..network.transport import ReliableChannel
+from ..observability.metrics import DEFAULT_LATENCY_BUCKETS
+from ..observability.trace import EventKind
 from ..simulation.process import Signal
 from ..simulation.resources import TokenBucket
 from ..simulation.simulator import Simulator
@@ -147,6 +149,7 @@ class KafkaProducer:
         config: Optional[ProducerConfig] = None,
         hardware: Optional[HardwareProfile] = None,
         listener: Optional[ProducerListener] = None,
+        telemetry=None,
     ) -> None:
         self._sim = sim
         self._cluster = cluster
@@ -155,6 +158,16 @@ class KafkaProducer:
         self.config = config if config is not None else ProducerConfig()
         self.hardware = hardware if hardware is not None else HardwareProfile()
         self.listener = listener if listener is not None else ProducerListener()
+        # Telemetry is optional and None by default; every emission site
+        # guards on the attribute so a bare producer pays one pointer
+        # comparison per event, nothing more.
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        if telemetry is not None:
+            self._ack_rtt = telemetry.metrics.histogram(
+                "producer.ack_rtt_s", DEFAULT_LATENCY_BUCKETS
+            )
+        else:
+            self._ack_rtt = None
         self.stats = ProducerStats()
         self.producer_id = next(_producer_ids)
         self._sequence = itertools.count()
@@ -214,6 +227,8 @@ class KafkaProducer:
         if capacity is not None and len(self._queue) >= capacity:
             self.stats.queue_dropped += 1
             self.listener.on_queue_drop(record)
+            if self._tracer is not None:
+                self._tracer.emit(EventKind.QUEUE_DROP, self._sim.now, key=record.key)
             return False
         record.ingest_time = self._sim.now
         self.stats.ingested += 1
@@ -248,6 +263,10 @@ class KafkaProducer:
             record = self._queue.popleft()
             self.stats.expired_in_queue += 1
             self.listener.on_expired(record, after_send=False)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    EventKind.EXPIRED, self._sim.now, key=record.key, after_send=False
+                )
             self._resolve()
 
     def _arm_sweep(self) -> None:
@@ -323,6 +342,10 @@ class KafkaProducer:
             if now >= self._record_deadline(record):
                 self.stats.expired_in_queue += 1
                 self.listener.on_expired(record, after_send=False)
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        EventKind.EXPIRED, now, key=record.key, after_send=False
+                    )
                 self._resolve()
             else:
                 live.append(record)
@@ -368,6 +391,10 @@ class KafkaProducer:
         self.stats.bytes_sent += request.wire_bytes
         for record in batch.records:
             self.listener.on_send_attempt(record, batch.attempt)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    EventKind.SEND, self._sim.now, key=record.key, attempt=batch.attempt
+                )
         if semantics.waits_for_ack:
             if batch.attempt == 0:
                 batch.byte_charge = request.wire_bytes
@@ -446,6 +473,10 @@ class KafkaProducer:
             if now >= self._record_deadline(record):
                 self.stats.expired_after_send += 1
                 self.listener.on_expired(record, after_send=True)
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        EventKind.EXPIRED, now, key=record.key, after_send=True
+                    )
                 self._resolve()
             else:
                 survivors.append(record)
@@ -453,6 +484,13 @@ class KafkaProducer:
         retries_left = batch.attempt < self.config.effective_retries
         if survivors and retries_left:
             batch.attempt += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    EventKind.RETRY,
+                    now,
+                    attempt=batch.attempt,
+                    records=len(survivors),
+                )
             self._sim.schedule(
                 self.config.retry_backoff_s, self._retry_batch, batch, token_held
             )
@@ -460,6 +498,8 @@ class KafkaProducer:
         for record in survivors:
             self.stats.perceived_lost += 1
             self.listener.on_perceived_lost(record)
+            if self._tracer is not None:
+                self._tracer.emit(EventKind.PERCEIVED_LOST, now, key=record.key)
             self._resolve()
         batch.completed = True
         self._in_flight_bytes -= batch.byte_charge
@@ -480,6 +520,10 @@ class KafkaProducer:
         for record in expired:
             self.stats.expired_after_send += 1
             self.listener.on_expired(record, after_send=True)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    EventKind.EXPIRED, now, key=record.key, after_send=True
+                )
             self._resolve()
         batch.records = survivors
         if not survivors:
@@ -509,6 +553,12 @@ class KafkaProducer:
             self.stats.acknowledged += 1
             ingest = record.ingest_time if record.ingest_time is not None else now
             self.listener.on_acknowledged(record, now - ingest)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    EventKind.ACK, now, key=record.key, rtt_s=now - ingest
+                )
+            if self._ack_rtt is not None:
+                self._ack_rtt.observe(now - ingest)
             self._resolve()
         self._tokens.release()
         self._sim.schedule(0.0, self._maybe_form_batch)

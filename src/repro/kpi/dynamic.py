@@ -32,6 +32,7 @@ from ..kafka.config import DEFAULT_PRODUCER_CONFIG, ProducerConfig
 from ..kafka.semantics import DeliverySemantics
 from ..models.predictor import ReliabilityPredictor
 from ..network.trace import NetworkTrace
+from ..observability.trace import EventKind
 from ..performance.queueing import ProducerPerformanceModel
 from ..testbed.experiment import run_experiment
 from ..testbed.scenario import Scenario
@@ -127,9 +128,14 @@ class DynamicConfigurationController:
         gamma_requirement: float = 0.8,
         reconfig_interval_s: float = 60.0,
         steps: Optional[ParameterSteps] = None,
+        telemetry=None,
     ) -> None:
         if reconfig_interval_s <= 0:
             raise ValueError("reconfig_interval_s must be positive")
+        # Offline planning has no simulator clock; controller decisions are
+        # traced at their plan time instead.
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._metrics = telemetry.metrics if telemetry is not None else None
         self.predictor = predictor
         self.performance_model = (
             performance_model
@@ -176,6 +182,21 @@ class DynamicConfigurationController:
             )
             config = selection.config
             producers = required_producers(config, stream)
+            if self._metrics is not None:
+                self._metrics.counter("controller.decisions").inc()
+                self._metrics.gauge("controller.predicted_gamma").set(selection.gamma)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    EventKind.CONTROLLER,
+                    time_s,
+                    semantics=config.semantics.value,
+                    batch_size=config.batch_size,
+                    polling_interval_s=config.polling_interval_s,
+                    producers=producers,
+                    predicted_gamma=selection.gamma,
+                    delay_s=point.delay_s,
+                    loss_rate=point.loss_rate,
+                )
             plan.entries.append(
                 ConfigPlanEntry(
                     time_s=time_s,

@@ -18,12 +18,49 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..observability.trace import EventKind
 from ..simulation.simulator import Simulator
 from .latency import ConstantLatency, LatencyModel
 from .link import Link
 from .loss import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
 
 __all__ = ["NetworkFault", "FaultInjector"]
+
+
+class _TracedLoss(LossModel):
+    """Wraps a Gilbert–Elliott chain and traces its state flips.
+
+    Pure observation: delegates sampling to the wrapped model (consuming
+    exactly the same RNG stream) and emits a ``channel_state`` record
+    whenever the chain changes state, so traces show the loss bursts the
+    dynamic-configuration controller is reacting to.  Installed only when
+    tracing is enabled.
+    """
+
+    def __init__(self, inner: GilbertElliottLoss, tracer, clock, direction: str) -> None:
+        self._inner = inner
+        self._tracer = tracer
+        self._clock = clock
+        self._direction = direction
+
+    def is_lost(self, rng) -> bool:
+        before = self._inner.state
+        lost = self._inner.is_lost(rng)
+        after = self._inner.state
+        if after != before:
+            self._tracer.emit(
+                EventKind.CHANNEL_STATE,
+                self._clock.now,
+                direction=self._direction,
+                state="bad" if after == GilbertElliottLoss.BAD else "good",
+            )
+        return lost
+
+    def expected_loss_rate(self) -> float:
+        return self._inner.expected_loss_rate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_TracedLoss({self._inner!r})"
 
 
 @dataclass
@@ -110,7 +147,13 @@ class FaultInjector:
         bridge affects both; NetEm on one veth affects one).
     """
 
-    def __init__(self, sim: Simulator, link: Link, both_directions: bool = True) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        both_directions: bool = True,
+        telemetry=None,
+    ) -> None:
         self._sim = sim
         self._link = link
         self._both = both_directions
@@ -118,17 +161,37 @@ class FaultInjector:
         self._baseline_loss = (link.forward.loss, link.reverse.loss)
         self.active_fault: Optional[NetworkFault] = None
         self._broker_callbacks: List[Callable[[str, bool], None]] = []
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._metrics = telemetry.metrics if telemetry is not None else None
+
+    def _build_loss(self, fault: NetworkFault, direction: str) -> LossModel:
+        """Materialise the fault's loss model, traced when telemetry is on."""
+        loss = fault.build_loss()
+        if self._tracer is not None and isinstance(loss, GilbertElliottLoss):
+            return _TracedLoss(loss, self._tracer, self._sim, direction)
+        return loss
 
     def inject(self, fault: NetworkFault) -> None:
         """Apply ``fault`` immediately (replacing any active fault)."""
         self.active_fault = fault
+        if self._metrics is not None:
+            self._metrics.counter("faults.injected").inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                EventKind.FAULT,
+                self._sim.now,
+                action="inject",
+                delay_s=fault.delay_s,
+                loss_rate=fault.loss_rate,
+                bursty=fault.bursty,
+            )
         self._link.forward.latency = fault.build_latency()
-        self._link.forward.loss = fault.build_loss()
+        self._link.forward.loss = self._build_loss(fault, "forward")
         if self._both:
             self._link.reverse.latency = fault.build_latency()
             # Separate loss-model instance: stateful chains must not be
             # shared between directions.
-            self._link.reverse.loss = fault.build_loss()
+            self._link.reverse.loss = self._build_loss(fault, "reverse")
 
     def inject_at(self, time: float, fault: NetworkFault) -> None:
         """Schedule ``fault`` to be applied at absolute simulated time."""
@@ -137,6 +200,8 @@ class FaultInjector:
     def clear(self) -> None:
         """Restore the baseline (pre-fault) treatments."""
         self.active_fault = None
+        if self._tracer is not None:
+            self._tracer.emit(EventKind.FAULT, self._sim.now, action="clear")
         self._link.forward.latency, self._link.reverse.latency = self._baseline_latency
         self._link.forward.loss, self._link.reverse.loss = self._baseline_loss
 
@@ -152,11 +217,19 @@ class FaultInjector:
 
     def crash_broker(self, broker_id: str) -> None:
         """Mark a broker as failed; the cluster stops serving from it."""
+        if self._tracer is not None:
+            self._tracer.emit(
+                EventKind.FAULT, self._sim.now, action="crash_broker", broker=broker_id
+            )
         for callback in self._broker_callbacks:
             callback(broker_id, False)
 
     def restore_broker(self, broker_id: str) -> None:
         """Bring a crashed broker back."""
+        if self._tracer is not None:
+            self._tracer.emit(
+                EventKind.FAULT, self._sim.now, action="restore_broker", broker=broker_id
+            )
         for callback in self._broker_callbacks:
             callback(broker_id, True)
 

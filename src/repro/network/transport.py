@@ -25,14 +25,33 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Set
 
+from ..observability.metrics import DEFAULT_LATENCY_BUCKETS
+from ..observability.trace import EventKind
 from ..simulation.events import Event
 from ..simulation.simulator import Simulator
 from .link import FORWARD, Link, REVERSE
 from .packet import ACK_PACKET_BYTES, DEFAULT_MTU, Packet, PacketKind, WIRE_HEADER_BYTES
 
-__all__ = ["TransportConfig", "TransportStats", "ReliableChannel", "SendFailure"]
+__all__ = [
+    "TransportConfig",
+    "TransportStats",
+    "ReliableChannel",
+    "SendFailure",
+    "reset_message_counter",
+]
 
 _message_ids = itertools.count()
+
+
+def reset_message_counter() -> None:
+    """Restart transport message ids (per-experiment determinism).
+
+    Message ids appear in trace records; restarting them per run makes a
+    trace — and hence its digest — a pure function of the scenario seed
+    regardless of what ran earlier in the process.
+    """
+    global _message_ids
+    _message_ids = itertools.count()
 
 
 @dataclass
@@ -170,7 +189,13 @@ class ReliableChannel:
     each direction, then :meth:`send`.
     """
 
-    def __init__(self, sim: Simulator, link: Link, config: Optional[TransportConfig] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        config: Optional[TransportConfig] = None,
+        telemetry=None,
+    ) -> None:
         self._sim = sim
         self._link = link
         self.config = config if config is not None else TransportConfig()
@@ -178,6 +203,13 @@ class ReliableChannel:
             FORWARD: _DirectionEndpoint(),
             REVERSE: _DirectionEndpoint(),
         }
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        if telemetry is not None:
+            self._rtt_hist = telemetry.metrics.histogram(
+                "transport.rtt_s", DEFAULT_LATENCY_BUCKETS
+            )
+        else:
+            self._rtt_hist = None
 
     # ------------------------------------------------------------------ api
 
@@ -293,6 +325,15 @@ class ReliableChannel:
         endpoint.stats.segments_sent += 1
         if attempt > 0:
             endpoint.stats.retransmissions += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    EventKind.RETRANSMIT,
+                    self._sim.now,
+                    direction=direction,
+                    message_id=message.message_id,
+                    segment=index,
+                    attempt=attempt,
+                )
         message.attempts[index] = attempt
         packet = Packet(
             kind=PacketKind.DATA,
@@ -365,6 +406,8 @@ class ReliableChannel:
         # Karn's rule: only sample RTT from first-attempt segments.
         if packet.attempt == 0:
             sample = self._sim.now - message.start_time
+            if self._rtt_hist is not None:
+                self._rtt_hist.observe(sample)
             if endpoint.min_rtt is None or sample < endpoint.min_rtt:
                 endpoint.min_rtt = sample
             if endpoint.srtt is None:
@@ -393,6 +436,14 @@ class ReliableChannel:
         self._clear_timers(message)
         endpoint.outstanding.pop(message.message_id, None)
         endpoint.stats.messages_failed += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                EventKind.TRANSPORT_FAIL,
+                self._sim.now,
+                direction=direction,
+                message_id=message.message_id,
+                reason=reason,
+            )
         if message.on_failed is not None:
             message.on_failed(message.payload, reason)
 

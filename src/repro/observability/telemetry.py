@@ -1,0 +1,146 @@
+"""Per-run telemetry: configuration, live handles and the run manifest.
+
+:class:`TelemetryConfig` is the *picklable description* of what to
+capture — it travels into :func:`~repro.testbed.runner.run_many` worker
+processes unchanged.  :class:`RunTelemetry` is the *live* object one
+experiment builds from it: a metrics registry, optionally a tracer, and
+the manifest assembled when the run finishes.
+
+The manifest is the auditable identity of a run: the scenario fingerprint
+and seed that define it, the code-version salt it was measured under, the
+wall time it took, digests of its event trace and metrics, and the full
+delivery accounting (Table I case census, consumer reconciliation totals,
+kernel heap integrity) that the invariant checker replays a trace
+against.  It is attached to ``ExperimentResult.manifest`` and excluded
+from result equality, so bit-identical reruns still compare equal while
+their wall times differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from .metrics import MetricsRegistry
+from .trace import JsonlFileSink, RingBufferSink, Tracer, encode_record
+
+__all__ = ["TelemetryConfig", "RunTelemetry", "MANIFEST_VERSION"]
+
+#: Manifest schema version (bump on incompatible manifest changes).
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to capture during a run (picklable; safe to ship to workers).
+
+    Attributes
+    ----------
+    trace:
+        Capture the structured event trace (metrics are always captured
+        once telemetry is on; the trace is the per-event firehose).
+    trace_path:
+        Write the trace as JSONL to this path instead of the in-memory
+        ring buffer.  May contain ``{index}`` and ``{seed}`` placeholders,
+        which :meth:`for_scenario` fills per grid slot under ``run_many``.
+    ring_capacity:
+        Bound on the in-memory buffer when no file path is given.
+    check_invariants:
+        Run the conservation-law checks at the end of the experiment and
+        raise :class:`~repro.observability.invariants.InvariantViolation`
+        on any breach.
+    """
+
+    trace: bool = True
+    trace_path: Optional[str] = None
+    ring_capacity: int = 200_000
+    check_invariants: bool = True
+
+    def for_scenario(self, index: int, seed: int) -> "TelemetryConfig":
+        """Specialise the trace path for one slot of a scenario grid."""
+        if self.trace_path is None:
+            return self
+        path = self.trace_path.format(index=index, seed=seed)
+        if path == self.trace_path and index > 0:
+            # No placeholder: suffix the slot index so parallel runs never
+            # interleave writes into one file.
+            path = f"{self.trace_path}.{index}"
+        return replace(self, trace_path=path)
+
+
+class RunTelemetry:
+    """Live telemetry handles for exactly one experiment run."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.metrics = MetricsRegistry()
+        self.tracer: Optional[Tracer] = None
+        if self.config.trace:
+            if self.config.trace_path is not None:
+                sink = JsonlFileSink(self.config.trace_path)
+            else:
+                sink = RingBufferSink(self.config.ring_capacity)
+            self.tracer = Tracer(sink)
+        self.manifest: Optional[Dict[str, Any]] = None
+
+    def build_manifest(
+        self,
+        *,
+        scenario_fingerprint: str,
+        seed: int,
+        salt: str,
+        produced: int,
+        delivered_unique: int,
+        lost: int,
+        duplicated: int,
+        duplicate_copies: int,
+        persisted_but_unacked: int,
+        case_counts: Dict[str, int],
+        unresolved: int,
+        events_processed: int,
+        sim_duration_s: float,
+        heap: Dict[str, Any],
+        wall_time_s: float,
+    ) -> Dict[str, Any]:
+        """Assemble (and remember) the manifest for this run."""
+        tracer = self.tracer
+        trace_complete = False
+        if tracer is not None:
+            sink = tracer.sink
+            trace_complete = not (isinstance(sink, RingBufferSink) and sink.dropped)
+        self.manifest = {
+            "kind": "manifest",
+            "version": MANIFEST_VERSION,
+            "scenario_fingerprint": scenario_fingerprint,
+            "seed": seed,
+            "salt": salt,
+            "produced": produced,
+            "delivered_unique": delivered_unique,
+            "lost": lost,
+            "duplicated": duplicated,
+            "duplicate_copies": duplicate_copies,
+            "persisted_but_unacked": persisted_but_unacked,
+            "case_counts": dict(case_counts),
+            "unresolved": unresolved,
+            "events_processed": events_processed,
+            "sim_duration_s": sim_duration_s,
+            "trace_events": tracer.count if tracer is not None else 0,
+            "trace_digest": tracer.digest() if tracer is not None else None,
+            "trace_complete": trace_complete,
+            "metrics": self.metrics.as_dict(),
+            "metrics_digest": self.metrics.digest(),
+            "heap": dict(heap),
+            "wall_time_s": wall_time_s,
+        }
+        return self.manifest
+
+    def finalize(self) -> None:
+        """Write the manifest line (file sinks) and release resources."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        if isinstance(tracer.sink, JsonlFileSink) and self.manifest is not None:
+            # The manifest rides in the same file as a trailing non-event
+            # line; it is excluded from the digest it embeds.
+            tracer.sink._handle.write(encode_record(self.manifest) + "\n")
+        tracer.close()

@@ -198,6 +198,25 @@ class EventQueue:
         heapq.heapify(self._heap)
         self._dead = 0
 
+    def check_integrity(self) -> dict:
+        """Audit the live/dead bookkeeping against an O(n) heap scan.
+
+        The run loop and cancel path maintain ``_live``/``_dead``
+        incrementally; any drift between those counters and the actual
+        heap contents means events were lost or double-counted.  Returns
+        a dict with ``ok`` plus the counter and scanned values (the run
+        manifest embeds it and the invariant checker asserts ``ok``).
+        """
+        scanned_live = sum(1 for entry in self._heap if not entry[3].cancelled)
+        scanned_dead = len(self._heap) - scanned_live
+        return {
+            "ok": scanned_live == self._live and scanned_dead == self._dead,
+            "live": self._live,
+            "dead": self._dead,
+            "scanned_live": scanned_live,
+            "scanned_dead": scanned_dead,
+        }
+
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()

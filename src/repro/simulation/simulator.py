@@ -44,6 +44,7 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -129,7 +130,12 @@ class Simulator:
         if event.time < self._now:
             raise SimulationError("event queue returned an event in the past")
         self._now = event.time
+        # The event is off the heap; flag it so a later cancel() (e.g. a
+        # component clearing a timer that already fired) is a no-op instead
+        # of corrupting the queue's live/dead accounting.
+        event.cancelled = True
         event.fire()
+        self.events_processed += 1
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -179,10 +185,16 @@ class Simulator:
                         "event queue returned an event in the past"
                     )
                 self._now = time
+                # Off the heap: a late cancel() of this event must be a
+                # no-op, not a live/dead counter update (see step()).
+                event.cancelled = True
                 event.callback(*event.args)
                 processed += 1
         finally:
             self._running = False
+            # Lifetime counter maintained outside the hot loop: one add per
+            # run() call, so telemetry costs nothing per event.
+            self.events_processed += processed
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         return processed
@@ -191,8 +203,19 @@ class Simulator:
         """Request the current :meth:`run` loop to exit after this event."""
         self._stopped = True
 
+    def heap_integrity(self) -> dict:
+        """Audit the event queue's live/dead bookkeeping (O(pending)).
+
+        Run manifests embed the result; the invariant checker asserts its
+        ``ok`` flag, catching any drift between the queue's incremental
+        counters and the actual heap contents ("heap ``len`` never
+        drifts").
+        """
+        return self._queue.check_integrity()
+
     def reset(self, start_time: float = 0.0) -> None:
         """Drop all pending events and rewind the clock."""
         self._queue.clear()
         self._now = float(start_time)
         self._stopped = False
+        self.events_processed = 0

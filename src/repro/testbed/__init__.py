@@ -9,6 +9,7 @@ with deterministic ordering) and ``ResultCache`` persists measured rows
 across runs.
 """
 
+from ..observability.telemetry import RunTelemetry, TelemetryConfig
 from .cache import ResultCache, scenario_fingerprint
 from .collection import (
     CollectionPlan,
@@ -38,6 +39,8 @@ from .tracker import CaseCensus, DeliveryTracker
 __all__ = [
     "ResultCache",
     "scenario_fingerprint",
+    "TelemetryConfig",
+    "RunTelemetry",
     "run_many",
     "resolve_workers",
     "RunFailure",

@@ -11,6 +11,7 @@ Mirrors the paper's procedure (Section III-E):
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -23,10 +24,14 @@ from ..kafka.state import DeliveryCase
 from ..network.faults import FaultInjector, NetworkFault
 from ..network.latency import ConstantLatency
 from ..network.link import Link
-from ..network.transport import ReliableChannel
+from ..network.transport import ReliableChannel, reset_message_counter
+from ..observability.invariants import verify_manifest, verify_trace
+from ..observability.telemetry import RunTelemetry, TelemetryConfig
+from ..observability.trace import RingBufferSink
 from ..simulation.random import RngRegistry
 from ..simulation.simulator import Simulator
 from ..workloads.arrival import ConstantRateSource, FullLoadSource, PolledSource
+from .cache import default_salt, scenario_fingerprint
 from .results import ExperimentResult
 from .scenario import Scenario
 from .tracker import DeliveryTracker
@@ -46,16 +51,28 @@ class Experiment:
     #: Safety valve: no experiment may process more events than this.
     MAX_EVENTS = 20_000_000
 
-    def __init__(self, scenario: Scenario) -> None:
+    def __init__(
+        self, scenario: Scenario, telemetry: Optional[TelemetryConfig] = None
+    ) -> None:
         self.scenario = scenario
-        # Unique keys restart per experiment so partition routing (and
-        # hence the whole run) is a pure function of the scenario seed.
+        # Unique keys and transport message ids restart per experiment so
+        # partition routing — and the run's trace digest — is a pure
+        # function of the scenario seed.
         reset_key_counter()
+        reset_message_counter()
         self.sim = Simulator()
         self.rng = RngRegistry(scenario.seed)
+        # Telemetry is fully optional: with telemetry=None every component
+        # below stores a None tracer and the run is byte-identical to an
+        # uninstrumented one.  Emission never schedules events or consumes
+        # RNG, so enabling it cannot perturb measured outputs either.
+        self.telemetry = RunTelemetry(telemetry) if telemetry is not None else None
         self.cluster = KafkaCluster(
             self.sim, scenario.broker_count, scenario.broker_config
         )
+        if self.telemetry is not None:
+            for broker in self.cluster.brokers.values():
+                broker.attach_telemetry(self.telemetry)
         self.topic = self.cluster.create_topic(
             scenario.topic_name, partitions=scenario.partition_count
         )
@@ -66,9 +83,10 @@ class Experiment:
             capacity_bps=hardware.link_capacity_bps,
             latency=ConstantLatency(hardware.link_base_delay_s),
         )
-        self.channel = ReliableChannel(self.sim, self.link)
+        self.channel = ReliableChannel(self.sim, self.link, telemetry=self.telemetry)
         self.tracker = DeliveryTracker(
-            retries_allowed=scenario.config.semantics.retries_allowed
+            retries_allowed=scenario.config.semantics.retries_allowed,
+            telemetry=self.telemetry,
         )
         self.tracker.attach_clock(self.sim)
         self.producer = KafkaProducer(
@@ -79,9 +97,10 @@ class Experiment:
             config=scenario.config,
             hardware=hardware,
             listener=self.tracker,
+            telemetry=self.telemetry,
         )
         self.cluster.add_append_listener(self.tracker.on_append)
-        self.injector = FaultInjector(self.sim, self.link)
+        self.injector = FaultInjector(self.sim, self.link, telemetry=self.telemetry)
         self.injector.on_broker_availability(self.cluster.set_broker_availability)
         self.source = self._build_source()
 
@@ -115,6 +134,7 @@ class Experiment:
     def run(self) -> ExperimentResult:
         """Execute the experiment and return its measured result."""
         scenario = self.scenario
+        wall_start = time.perf_counter()
         if scenario.loss_rate > 0 or scenario.network_delay_s > 0:
             self.injector.inject(
                 NetworkFault(
@@ -152,7 +172,10 @@ class Experiment:
         ack_latencies = list(self.tracker.ack_latencies.values())
         stats = self.producer.stats
         delivered = report.delivered_unique
-        return ExperimentResult(
+        manifest = None
+        if self.telemetry is not None:
+            manifest = self._finish_telemetry(report, census, duration, wall_start)
+        result = ExperimentResult(
             message_bytes=scenario.message_bytes,
             timeliness_s=scenario.timeliness_s,
             network_delay_s=scenario.network_delay_s,
@@ -185,8 +208,87 @@ class Experiment:
             request_retries=stats.request_retries,
             seed=scenario.seed,
         )
+        result.manifest = manifest
+        return result
+
+    def _finish_telemetry(self, report, census, duration, wall_start) -> dict:
+        """Snapshot stats into metrics, build the manifest, check invariants."""
+        telemetry = self.telemetry
+        metrics = telemetry.metrics
+        scenario = self.scenario
+        stats = self.producer.stats
+        for name in (
+            "ingested",
+            "queue_dropped",
+            "expired_in_queue",
+            "expired_after_send",
+            "requests_sent",
+            "request_retries",
+            "acknowledged",
+            "perceived_lost",
+            "fire_and_forget",
+            "bytes_sent",
+        ):
+            metrics.counter(f"producer.{name}").inc(getattr(stats, name))
+        for direction in ("forward", "reverse"):
+            transport = self.channel.stats(direction)
+            for name in (
+                "messages_sent",
+                "messages_delivered",
+                "messages_failed",
+                "segments_sent",
+                "retransmissions",
+                "acks_received",
+                "duplicate_segments",
+            ):
+                metrics.counter(f"transport.{direction}.{name}").inc(
+                    getattr(transport, name)
+                )
+        for broker_id, broker in sorted(self.cluster.brokers.items()):
+            metrics.gauge(f"broker.{broker_id}.requests_handled").set(
+                broker.requests_handled
+            )
+        case_counts = census.as_flat_counts()
+        for name, count in case_counts.items():
+            metrics.counter(f"census.{name}").inc(count)
+        metrics.counter("census.unresolved").inc(census.unresolved)
+        metrics.counter("reconciliation.produced").inc(report.produced)
+        metrics.counter("reconciliation.delivered_unique").inc(report.delivered_unique)
+        metrics.counter("reconciliation.lost").inc(report.lost)
+        metrics.counter("reconciliation.duplicated").inc(report.duplicated)
+        metrics.gauge("sim.events_processed").set(self.sim.events_processed)
+        metrics.gauge("sim.duration_s").set(duration)
+        manifest = telemetry.build_manifest(
+            scenario_fingerprint=scenario_fingerprint(scenario, default_salt()),
+            seed=scenario.seed,
+            salt=default_salt(),
+            produced=report.produced,
+            delivered_unique=report.delivered_unique,
+            lost=report.lost,
+            duplicated=report.duplicated,
+            duplicate_copies=report.duplicate_copies,
+            persisted_but_unacked=self.tracker.persisted_but_unacked(),
+            case_counts=case_counts,
+            unresolved=census.unresolved,
+            events_processed=self.sim.events_processed,
+            sim_duration_s=duration,
+            heap=self.sim.heap_integrity(),
+            wall_time_s=time.perf_counter() - wall_start,
+        )
+        if telemetry.config.check_invariants:
+            tracer = telemetry.tracer
+            if tracer is not None and isinstance(tracer.sink, RingBufferSink):
+                verify_trace(tracer.records(), manifest)
+            else:
+                # File sinks are verified offline via ``repro inspect``:
+                # the handle is still open for writing here.
+                verify_manifest(manifest)
+        telemetry.finalize()
+        return manifest
 
 
-def run_experiment(scenario: Scenario) -> ExperimentResult:
+def run_experiment(
+    scenario: Scenario, telemetry: Optional[TelemetryConfig] = None
+) -> ExperimentResult:
     """Build and run one experiment (the testbed's main entry point)."""
-    return Experiment(scenario).run()
+    return Experiment(scenario, telemetry=telemetry).run()

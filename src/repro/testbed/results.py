@@ -69,6 +69,10 @@ class ExperimentResult:
     retransmissions: int = 0
     request_retries: int = 0
     seed: int = 0
+    # Run manifest (observability): attached when the experiment ran with
+    # telemetry.  Excluded from equality — wall time differs between
+    # bit-identical reruns — and from repr/CSV noise.
+    manifest: Optional[Dict] = field(default=None, compare=False, repr=False)
 
     @property
     def p_loss_ci(self) -> tuple:

@@ -31,6 +31,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from ..observability.telemetry import TelemetryConfig
 from .cache import ResultCache
 from .experiment import run_experiment
 from .results import ExperimentResult
@@ -97,14 +98,21 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
-def _run_one(scenario: Scenario) -> Tuple[bool, object]:
+def _run_one(job: Tuple[Scenario, Optional[TelemetryConfig]]) -> Tuple[bool, object]:
     """Pool worker: run one scenario, capturing any exception.
 
-    Top-level so it is picklable under the spawn start method.  Returns
+    Top-level so it is picklable under the spawn start method.  The job is
+    ``(scenario, telemetry_config_or_None)`` — :class:`TelemetryConfig` is
+    a frozen dataclass, so it pickles into the worker unchanged.  Returns
     ``(True, result)`` or ``(False, (error_repr, traceback_text))``.
     """
+    scenario, telemetry = job
     try:
-        return True, run_experiment(scenario)
+        if telemetry is None:
+            # Positional-only call: keeps drop-in run_experiment stand-ins
+            # (tests, custom drivers) working without a telemetry kwarg.
+            return True, run_experiment(scenario)
+        return True, run_experiment(scenario, telemetry=telemetry)
     except Exception as exc:  # noqa: BLE001 - captured per scenario by design
         return False, (repr(exc), traceback.format_exc())
 
@@ -116,6 +124,7 @@ def run_many(
     progress: Optional[ProgressFn] = None,
     on_error: str = "raise",
     chunksize: Optional[int] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[Union[ExperimentResult, RunFailure]]:
     """Run many experiments, in parallel, in deterministic input order.
 
@@ -139,6 +148,12 @@ def run_many(
     chunksize:
         Scenarios handed to a worker per dispatch; defaults to a value
         that gives each worker ~4 chunks for even load with low IPC.
+    telemetry:
+        Optional :class:`~repro.observability.telemetry.TelemetryConfig`
+        applied to every fresh run (cache hits keep whatever manifest they
+        were stored with).  A ``trace_path`` is specialised per grid slot
+        via :meth:`TelemetryConfig.for_scenario` so parallel workers never
+        interleave writes into one file.
 
     Returns
     -------
@@ -178,11 +193,17 @@ def run_many(
         if progress is not None:
             progress(index, total, scenario)
 
+    def job_for(index: int) -> Tuple[Scenario, Optional[TelemetryConfig]]:
+        scenario = scenarios[index]
+        if telemetry is None:
+            return scenario, None
+        return scenario, telemetry.for_scenario(index, scenario.seed)
+
     if pending:
         workers = min(resolve_workers(workers), len(pending))
         if workers <= 1:
             for index in pending:
-                ok, payload = _run_one(scenarios[index])
+                ok, payload = _run_one(job_for(index))
                 record(index, ok, payload)
         else:
             if chunksize is None:
@@ -191,7 +212,7 @@ def run_many(
             with context.Pool(processes=workers) as pool:
                 outcomes = pool.imap(
                     _run_one,
-                    [scenarios[index] for index in pending],
+                    [job_for(index) for index in pending],
                     chunksize=chunksize,
                 )
                 for index, (ok, payload) in zip(pending, outcomes):

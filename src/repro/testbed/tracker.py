@@ -5,6 +5,11 @@ attempts, acknowledgements, give-ups) and the cluster's ground truth
 (appends) — and drives one :class:`MessageStateMachine` per message
 through the Fig. 2 transitions.  The resulting Table I case census is
 cross-checked against consumer reconciliation by the experiment runner.
+
+When a :class:`~repro.observability.telemetry.RunTelemetry` is attached,
+every applied transition is emitted as a ``transition`` trace record
+(key, edge, source and target states, simulated time) and counted in the
+metrics registry — the raw material the invariant checker replays.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from ..kafka.message import ProducerRecord
 from ..kafka.partition import Partition
 from ..kafka.producer import ProducerListener
 from ..kafka.state import DeliveryCase, MessageState, MessageStateMachine, Transition
+from ..observability.trace import EventKind
 
 __all__ = ["DeliveryTracker", "CaseCensus"]
 
@@ -36,6 +42,13 @@ class CaseCensus:
         total = self.total()
         return self.case_counts.get(case, 0) / total if total else 0.0
 
+    def as_flat_counts(self) -> Dict[str, int]:
+        """``{"case1": n, ...}`` with every Table I case present."""
+        return {
+            f"case{case.value}": self.case_counts.get(case, 0)
+            for case in DeliveryCase
+        }
+
 
 class DeliveryTracker(ProducerListener):
     """Applies Fig. 2 transitions as producer/broker events occur.
@@ -48,14 +61,19 @@ class DeliveryTracker(ProducerListener):
         unacknowledged) does not exist: the producer neither waits for
         acknowledgements nor retries, so a transport-level hiccup after
         the broker persisted the message leaves it simply *Delivered*.
+    telemetry:
+        Optional run telemetry; when attached, transitions are traced and
+        counted.
     """
 
-    def __init__(self, retries_allowed: bool = True) -> None:
+    def __init__(self, retries_allowed: bool = True, telemetry=None) -> None:
         self.retries_allowed = retries_allowed
         self.machines: Dict[int, MessageStateMachine] = {}
         self.ingest_times: Dict[int, float] = {}
         self.ack_latencies: Dict[int, float] = {}
         self._clock: Optional[object] = None
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._metrics = telemetry.metrics if telemetry is not None else None
 
     def attach_clock(self, simulator) -> None:
         """Give the tracker access to simulated time (for ingest stamps)."""
@@ -68,6 +86,22 @@ class DeliveryTracker(ProducerListener):
             self.machines[record.key] = machine
         return machine
 
+    def _apply(self, key: int, machine: MessageStateMachine, transition: Transition) -> None:
+        """Apply one Fig. 2 edge and record it in the telemetry stream."""
+        source = machine.state
+        machine.apply(transition)
+        if self._metrics is not None:
+            self._metrics.counter(f"transitions.{transition.value}").inc()
+        if self._tracer is not None:
+            now = self._clock.now if self._clock is not None else 0.0
+            self._tracer.emit(
+                EventKind.TRANSITION,
+                now,
+                key=key,
+                edge=transition.value,
+                **{"from": source.value, "to": machine.state.value},
+            )
+
     # ------------------------------------------------- producer-side view
 
     def on_ingest(self, record: ProducerRecord) -> None:
@@ -78,24 +112,24 @@ class DeliveryTracker(ProducerListener):
     def on_queue_drop(self, record: ProducerRecord) -> None:
         machine = self._machine(record)
         if machine.state is MessageState.READY:
-            machine.apply(Transition.II)
+            self._apply(record.key, machine, Transition.II)
 
     def on_expired(self, record: ProducerRecord, after_send: bool) -> None:
         machine = self._machine(record)
         if machine.state is MessageState.READY:
-            machine.apply(Transition.II)
+            self._apply(record.key, machine, Transition.II)
         elif machine.state is MessageState.DELIVERED and self.retries_allowed:
             # Persisted, but the producer gives up for lack of an ack.
-            machine.apply(Transition.V)
+            self._apply(record.key, machine, Transition.V)
 
     def on_attempt_failed(self, record: ProducerRecord, attempt: int) -> None:
         machine = self._machine(record)
         if machine.state is MessageState.READY:
-            machine.apply(Transition.II)
+            self._apply(record.key, machine, Transition.II)
         elif machine.state is MessageState.LOST:
-            machine.apply(Transition.III)
+            self._apply(record.key, machine, Transition.III)
         elif machine.state is MessageState.DELIVERED and self.retries_allowed:
-            machine.apply(Transition.V)
+            self._apply(record.key, machine, Transition.V)
         # DUPLICATED is terminal; later failures change nothing.
 
     def on_acknowledged(self, record: ProducerRecord, rtt_s: float) -> None:
@@ -104,7 +138,7 @@ class DeliveryTracker(ProducerListener):
     def on_perceived_lost(self, record: ProducerRecord) -> None:
         machine = self._machine(record)
         if machine.state is MessageState.READY:
-            machine.apply(Transition.II)
+            self._apply(record.key, machine, Transition.II)
 
     # --------------------------------------------------- cluster's truth
 
@@ -112,19 +146,19 @@ class DeliveryTracker(ProducerListener):
         """Cluster append listener: a copy of ``record`` was persisted."""
         machine = self._machine(record)
         if machine.state is MessageState.READY:
-            machine.apply(Transition.I)
+            self._apply(record.key, machine, Transition.I)
         elif machine.state is MessageState.LOST:
             if machine.persisted:
-                machine.apply(Transition.VI)
+                self._apply(record.key, machine, Transition.VI)
             else:
-                machine.apply(Transition.IV)
+                self._apply(record.key, machine, Transition.IV)
         elif machine.state is MessageState.DELIVERED:
             # A retransmitted request persisted again before the producer
             # noticed anything wrong: ack-loss race, Fig. 2's V then VI.
-            machine.apply(Transition.V)
-            machine.apply(Transition.VI)
+            self._apply(record.key, machine, Transition.V)
+            self._apply(record.key, machine, Transition.VI)
         elif machine.state is MessageState.DUPLICATED:
-            machine.apply(Transition.VI)
+            self._apply(record.key, machine, Transition.VI)
 
     # ------------------------------------------------------------ census
 

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.kafka import DeliverySemantics, ProducerConfig
-from repro.testbed import Scenario, run_experiment
+from repro.testbed import Scenario, TelemetryConfig, run_experiment
 
 
 LOSSY = dict(loss_rate=0.18, network_delay_s=0.08, message_bytes=150, message_count=400)
 
 
-def run_with(semantics, **overrides):
+def run_with(semantics, telemetry=None, **overrides):
     base = dict(LOSSY)
     config_kwargs = overrides.pop("config_kwargs", {})
     base.update(overrides)
@@ -17,7 +17,9 @@ def run_with(semantics, **overrides):
         semantics=semantics, message_timeout_s=4.0, request_timeout_s=1.0,
         **config_kwargs,
     )
-    return run_experiment(Scenario(seed=9, config=config, **base))
+    return run_experiment(
+        Scenario(seed=9, config=config, **base), telemetry=telemetry
+    )
 
 
 def test_at_least_once_recovers_more_than_at_most_once():
@@ -42,6 +44,50 @@ def test_exactly_once_matches_at_least_once_loss_profile():
     alo = run_with(DeliverySemantics.AT_LEAST_ONCE, arrival_rate=4.0)
     eos = run_with(DeliverySemantics.EXACTLY_ONCE, arrival_rate=4.0)
     assert abs(eos.p_loss - alo.p_loss) < 0.15
+
+
+@pytest.mark.parametrize(
+    "semantics",
+    [
+        DeliverySemantics.AT_MOST_ONCE,
+        DeliverySemantics.AT_LEAST_ONCE,
+        DeliverySemantics.EXACTLY_ONCE,
+    ],
+)
+def test_census_agrees_with_reconciliation_under_loss(semantics):
+    """Cross-check: the tracker's Table I census and the consumer-side
+    key reconciliation must describe the same run, for every semantics.
+
+    The manifest carries both accountings; the relations below are the
+    conservation laws the invariant checker enforces, asserted here
+    explicitly so a drift in either bookkeeper fails with a readable
+    message instead of a generic InvariantViolation.
+    """
+    result = run_with(semantics, arrival_rate=5.0, telemetry=TelemetryConfig())
+    manifest = result.manifest
+    assert manifest is not None
+    cases = manifest["case_counts"]
+    total_cases = sum(cases.values())
+    # Every produced message is either classified or still unresolved.
+    assert total_cases + manifest["unresolved"] == manifest["produced"]
+    # Consumer-side reconciliation totals mirror the same population.
+    assert manifest["delivered_unique"] + manifest["lost"] == manifest["produced"]
+    # Duplicates: the census' case 5 is exactly the reconciliation count.
+    assert cases.get("case5", 0) == manifest["duplicated"]
+    # Delivered messages are cases 1/4/5 plus persisted-but-unacked.
+    assert (
+        cases.get("case1", 0)
+        + cases.get("case4", 0)
+        + cases.get("case5", 0)
+        + manifest["persisted_but_unacked"]
+        == manifest["delivered_unique"]
+    )
+    # The run actually exercised the lossy path.
+    assert manifest["produced"] == LOSSY["message_count"]
+    if semantics is DeliverySemantics.AT_MOST_ONCE:
+        assert manifest["duplicated"] == 0
+    if semantics is DeliverySemantics.EXACTLY_ONCE:
+        assert manifest["duplicated"] == 0
 
 
 def test_batching_reduces_loss_under_packet_loss():

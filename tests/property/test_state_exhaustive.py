@@ -1,0 +1,159 @@
+"""Exhaustive enumeration of the Fig. 2 state machine up to depth 6.
+
+Rather than sampling walks, these tests enumerate *every* sequence of the
+six transitions up to length 6 (55 986 sequences) and partition them into
+legal and illegal:
+
+* every legal sequence ends in exactly one Table I delivery case, and the
+  case agrees with a reference decision table computed from the history;
+* every illegal sequence raises :class:`IllegalTransition` at the first
+  bad edge and leaves the machine exactly where the legal prefix put it;
+* classification is insensitive to recorded no-ops — extra ``VI`` edges in
+  the terminal *Duplicated* state and extra failed retries (``III``) once
+  a message is already past the Case-2/Case-3 distinction.
+"""
+
+import itertools
+
+import pytest
+
+from repro.kafka.state import (
+    DeliveryCase,
+    IllegalTransition,
+    MessageState,
+    MessageStateMachine,
+    Transition,
+)
+
+MAX_DEPTH = 6
+
+_ALL = list(Transition)
+
+
+def _all_sequences():
+    for depth in range(1, MAX_DEPTH + 1):
+        yield from itertools.product(_ALL, repeat=depth)
+
+
+def _replay(sequence):
+    """Apply ``sequence``; returns (machine, failed_index_or_None)."""
+    machine = MessageStateMachine()
+    for index, transition in enumerate(sequence):
+        try:
+            machine.apply(transition)
+        except IllegalTransition:
+            return machine, index
+    return machine, None
+
+
+def _expected_case(machine):
+    """Independent Table I decision table (not via classify_case)."""
+    if machine.state is MessageState.DUPLICATED:
+        return DeliveryCase.CASE5
+    if machine.state is MessageState.DELIVERED:
+        return (
+            DeliveryCase.CASE1
+            if machine.history == [Transition.I]
+            else DeliveryCase.CASE4
+        )
+    if machine.state is MessageState.LOST:
+        return (
+            DeliveryCase.CASE2
+            if machine.history == [Transition.II]
+            else DeliveryCase.CASE3
+        )
+    return None
+
+
+def test_every_sequence_is_legal_xor_raises():
+    """Depth-≤6 exhaustion: legal walks classify, illegal walks raise."""
+    legal = illegal = 0
+    seen_cases = set()
+    for sequence in _all_sequences():
+        machine, failed_at = _replay(sequence)
+        if failed_at is None:
+            legal += 1
+            case = machine.classify_case()
+            assert case is _expected_case(machine), (sequence, case)
+            seen_cases.add(case)
+        else:
+            illegal += 1
+            # The prefix before the bad edge must replay cleanly and land
+            # in the same state: a failed apply() must not corrupt.
+            prefix_machine, prefix_failed = _replay(sequence[:failed_at])
+            assert prefix_failed is None
+            assert machine.state is prefix_machine.state
+            assert machine.history == prefix_machine.history
+    # Sanity on the partition size: 6^1 + ... + 6^6 sequences total.
+    assert legal + illegal == sum(6**d for d in range(1, MAX_DEPTH + 1))
+    # All five Table I cases are reachable within depth 6.
+    assert seen_cases == set(DeliveryCase)
+
+
+def test_illegal_edges_raise_from_every_state():
+    """For each reachable state, every non-successor edge raises."""
+    legal_next = {
+        MessageState.READY: {Transition.I, Transition.II},
+        MessageState.DELIVERED: {Transition.V},
+        MessageState.LOST: {Transition.III, Transition.IV, Transition.VI},
+        MessageState.DUPLICATED: {Transition.VI},
+    }
+    reached = {
+        MessageState.READY: [],
+        MessageState.DELIVERED: [Transition.I],
+        MessageState.LOST: [Transition.II],
+        MessageState.DUPLICATED: [Transition.I, Transition.V, Transition.VI],
+    }
+    for state, prefix in reached.items():
+        for transition in Transition:
+            machine = MessageStateMachine()
+            for step in prefix:
+                machine.apply(step)
+            assert machine.state is state
+            if transition in legal_next[state]:
+                machine.apply(transition)
+            else:
+                with pytest.raises(IllegalTransition):
+                    machine.apply(transition)
+                assert machine.state is state  # unchanged after the raise
+
+
+def test_extra_vi_in_duplicated_is_a_recorded_noop():
+    """τ_d · VI: repeats are recorded but never change state or case."""
+    for extra in range(4):
+        machine = MessageStateMachine()
+        for step in [Transition.II, Transition.IV, Transition.V, Transition.VI]:
+            machine.apply(step)
+        for _ in range(extra):
+            machine.apply(Transition.VI)
+        assert machine.state is MessageState.DUPLICATED
+        assert machine.classify_case() is DeliveryCase.CASE5
+        assert machine.duplicate_count == 1 + extra
+
+
+def test_interleaved_failed_retries_never_change_a_settled_case():
+    """Once a walk is past the Case-2/3 distinction (history longer than
+    the single initial failure), inserting extra III edges at any Lost
+    visit leaves the classification unchanged."""
+    walks = [
+        [Transition.II, Transition.III],                                # case 3
+        [Transition.II, Transition.IV],                                 # case 4
+        [Transition.I, Transition.V, Transition.IV],                    # case 4
+        [Transition.II, Transition.IV, Transition.V, Transition.VI],    # case 5
+        [Transition.I, Transition.V, Transition.VI],                    # case 5
+    ]
+    for walk in walks:
+        baseline, _ = _replay(walk)
+        base_case = baseline.classify_case()
+        # Insert 1..2 failed retries at every position where the machine
+        # is in Lost (III is only legal there).
+        for position in range(1, len(walk) + 1):
+            probe, failed = _replay(walk[:position])
+            assert failed is None
+            if probe.state is not MessageState.LOST:
+                continue
+            for count in (1, 2):
+                padded = walk[:position] + [Transition.III] * count + walk[position:]
+                machine, failed = _replay(padded)
+                assert failed is None
+                assert machine.classify_case() is base_case, padded

@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.observability import validate_metrics_document
 
 
 class TestParser:
@@ -32,6 +35,20 @@ class TestParser:
     def test_dynamic_options(self):
         args = build_parser().parse_args(["dynamic", "--gamma", "0.9"])
         assert args.gamma == 0.9
+
+    def test_experiment_telemetry_flags(self):
+        args = build_parser().parse_args([
+            "experiment", "--metrics", "--trace-file", "out.jsonl",
+        ])
+        assert args.metrics is True
+        assert args.trace_file == "out.jsonl"
+
+    def test_inspect_requires_a_path(self):
+        args = build_parser().parse_args(["inspect", "trace.jsonl"])
+        assert args.command == "inspect"
+        assert args.trace_file == "trace.jsonl"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inspect"])
 
     def test_unknown_semantics_rejected(self):
         with pytest.raises(SystemExit):
@@ -71,3 +88,55 @@ class TestMain:
         out = capsys.readouterr().out
         assert "hold-out MAE" in out
         assert (tmp_path / "tiny" / "manifest.json").exists()
+
+
+class TestObservabilityCommands:
+    ARGS = ["experiment", "--messages", "200", "--loss", "0.1", "--seed", "6"]
+
+    def test_metrics_emits_schema_valid_json(self, capsys):
+        code = main(self.ARGS + ["--metrics"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert validate_metrics_document(document) == []
+        manifest = document["manifest"]
+        # Acceptance: the per-case counts sum to the scenario's messages.
+        total = sum(manifest["case_counts"].values()) + manifest["unresolved"]
+        assert total == manifest["produced"] == 200
+        assert document["metrics"]["producer.ingested"]["value"] == 200
+
+    def test_trace_file_then_inspect_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        code = main(self.ARGS + ["--trace-file", str(trace)])
+        assert code == 0
+        assert trace.exists()
+        capsys.readouterr()  # discard the experiment table
+        code = main(["inspect", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["ok"] is True
+        assert summary["violations"] == []
+        assert summary["events"] == summary["manifest"]["trace_events"]
+        assert "transition" in summary["kinds"]
+
+    def test_inspect_tampered_trace_exits_nonzero(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        main(self.ARGS + ["--trace-file", str(trace)])
+        capsys.readouterr()
+        lines = trace.read_text().splitlines()
+        victim = next(
+            i for i, line in enumerate(lines) if '"kind":"transition"' in line
+        )
+        trace.write_text("\n".join(lines[:victim] + lines[victim + 1 :]) + "\n")
+        code = main(["inspect", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 1
+        summary = json.loads(out)
+        assert summary["ok"] is False
+        assert summary["violations"]
+
+    def test_inspect_missing_file_exits_two(self, capsys, tmp_path):
+        code = main(["inspect", str(tmp_path / "absent.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err

@@ -1,0 +1,211 @@
+"""Unit tests for the observability primitives: metrics, traces, telemetry."""
+
+import json
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.telemetry import (
+    MANIFEST_VERSION,
+    RunTelemetry,
+    TelemetryConfig,
+)
+from repro.observability.trace import (
+    EventKind,
+    JsonlFileSink,
+    RingBufferSink,
+    Tracer,
+    encode_record,
+    load_trace_file,
+    trace_digest,
+)
+
+
+class TestMetrics:
+    def test_counter_only_goes_up(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_tracks_latest(self):
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        gauge.set(-1.0)
+        assert gauge.value == -1.0
+
+    def test_histogram_buckets_and_quantiles(self):
+        hist = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.min == 0.05 and hist.max == 50.0
+        assert hist.mean == pytest.approx(56.05 / 5)
+        exported = hist.as_dict()
+        # Cumulative, Prometheus-style, with a trailing +Inf bucket.
+        assert exported["buckets"] == {"0.1": 1, "1.0": 3, "10.0": 4, "+Inf": 5}
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 50.0
+        assert Histogram("empty").quantile(0.5) is None
+
+    def test_registry_get_or_create_and_type_guard(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        registry.counter("a").inc(2)
+        assert registry.value("a") == 2
+        assert registry.value("missing", default=-1) == -1
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+        assert "a" in registry and len(registry) == 1
+
+    def test_registry_digest_is_content_addressed(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        # Same content, different insertion order → same digest.
+        left.counter("x").inc(1)
+        left.gauge("y").set(2.0)
+        right.gauge("y").set(2.0)
+        right.counter("x").inc(1)
+        assert left.digest() == right.digest()
+        right.counter("x").inc(1)
+        assert left.digest() != right.digest()
+
+
+class TestTracer:
+    def test_digest_matches_streaming_and_batch(self):
+        tracer = Tracer(RingBufferSink(10))
+        tracer.emit(EventKind.SEND, 0.5, key=1, attempt=0)
+        tracer.emit(EventKind.ACK, 0.9, key=1, rtt_s=0.4)
+        assert tracer.count == 2
+        assert tracer.digest() == trace_digest(tracer.records())
+
+    def test_digest_is_order_sensitive(self):
+        records = [
+            {"kind": EventKind.SEND, "t": 0.0, "key": 1},
+            {"kind": EventKind.ACK, "t": 1.0, "key": 1},
+        ]
+        assert trace_digest(records) != trace_digest(list(reversed(records)))
+
+    def test_encode_record_is_canonical(self):
+        record = {"t": 1.0, "kind": "send", "key": 3}
+        line = encode_record(record)
+        assert line == '{"key":3,"kind":"send","t":1.0}'
+        assert json.loads(line) == record
+
+    def test_ring_buffer_wraps_and_reports_dropped(self):
+        sink = RingBufferSink(3)
+        tracer = Tracer(sink)
+        for index in range(3):
+            tracer.emit(EventKind.SEND, float(index), key=index)
+        assert not sink.dropped  # exactly at capacity is not a wrap
+        tracer.emit(EventKind.SEND, 3.0, key=3)
+        assert sink.dropped
+        assert [r["key"] for r in sink.records] == [1, 2, 3]
+        assert tracer.count == 4  # count covers evicted records too
+
+    def test_file_sink_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "trace.jsonl"  # parent dir is created
+        tracer = Tracer(JsonlFileSink(path))
+        tracer.emit(EventKind.TRANSITION, 0.1, key=7, edge="I")
+        tracer.emit(EventKind.FAULT, 0.2, action="clear")
+        digest = tracer.digest()
+        tracer.close()
+        events, manifest = load_trace_file(path)
+        assert manifest is None
+        assert [e["kind"] for e in events] == ["transition", "fault"]
+        assert trace_digest(events) == digest
+
+    def test_load_trace_file_rejects_junk(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"send","t":0}\nnot json\n')
+        with pytest.raises(ValueError):
+            load_trace_file(path)
+        path.write_text('{"no_kind":1}\n')
+        with pytest.raises(ValueError):
+            load_trace_file(path)
+
+
+class TestTelemetryConfig:
+    def test_for_scenario_fills_placeholders(self):
+        config = TelemetryConfig(trace_path="runs/{seed}-{index}.jsonl")
+        specialised = config.for_scenario(3, 42)
+        assert specialised.trace_path == "runs/42-3.jsonl"
+
+    def test_for_scenario_suffixes_when_no_placeholder(self):
+        config = TelemetryConfig(trace_path="trace.jsonl")
+        assert config.for_scenario(0, 1).trace_path == "trace.jsonl"
+        assert config.for_scenario(2, 1).trace_path == "trace.jsonl.2"
+
+    def test_for_scenario_without_path_is_identity(self):
+        config = TelemetryConfig()
+        assert config.for_scenario(5, 9) is config
+
+
+class TestRunTelemetry:
+    def _manifest_kwargs(self, **overrides):
+        base = dict(
+            scenario_fingerprint="f" * 16,
+            seed=1,
+            salt="s",
+            produced=2,
+            delivered_unique=2,
+            lost=0,
+            duplicated=0,
+            duplicate_copies=0,
+            persisted_but_unacked=0,
+            case_counts={"case1": 2},
+            unresolved=0,
+            events_processed=10,
+            sim_duration_s=1.0,
+            heap={"ok": True},
+            wall_time_s=0.01,
+        )
+        base.update(overrides)
+        return base
+
+    def test_manifest_embeds_metrics_and_trace_identity(self):
+        telemetry = RunTelemetry(TelemetryConfig(ring_capacity=16))
+        telemetry.metrics.counter("producer.ingested").inc(2)
+        telemetry.tracer.emit(EventKind.SEND, 0.0, key=1)
+        manifest = telemetry.build_manifest(**self._manifest_kwargs())
+        assert manifest["version"] == MANIFEST_VERSION
+        assert manifest["trace_events"] == 1
+        assert manifest["trace_digest"] == telemetry.tracer.digest()
+        assert manifest["trace_complete"] is True
+        assert manifest["metrics"]["producer.ingested"]["value"] == 2
+        assert manifest["metrics_digest"] == telemetry.metrics.digest()
+
+    def test_manifest_marks_wrapped_ring_incomplete(self):
+        telemetry = RunTelemetry(TelemetryConfig(ring_capacity=1))
+        telemetry.tracer.emit(EventKind.SEND, 0.0, key=1)
+        telemetry.tracer.emit(EventKind.SEND, 0.1, key=2)
+        manifest = telemetry.build_manifest(**self._manifest_kwargs())
+        assert manifest["trace_complete"] is False
+        assert manifest["trace_events"] == 2
+
+    def test_finalize_appends_manifest_line_to_file_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = RunTelemetry(TelemetryConfig(trace_path=str(path)))
+        telemetry.tracer.emit(EventKind.SEND, 0.0, key=1)
+        telemetry.build_manifest(**self._manifest_kwargs())
+        telemetry.finalize()
+        events, manifest = load_trace_file(path)
+        assert len(events) == 1
+        assert manifest is not None
+        assert manifest["kind"] == "manifest"
+        # The manifest line is excluded from the digest it embeds.
+        assert manifest["trace_digest"] == trace_digest(events)
+
+    def test_disabled_trace_keeps_metrics_only(self):
+        telemetry = RunTelemetry(TelemetryConfig(trace=False))
+        assert telemetry.tracer is None
+        manifest = telemetry.build_manifest(**self._manifest_kwargs())
+        assert manifest["trace_events"] == 0
+        assert manifest["trace_digest"] is None
+        telemetry.finalize()  # no sink: must be a no-op
