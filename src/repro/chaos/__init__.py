@@ -1,0 +1,40 @@
+"""Chaos engineering for the simulated testbed.
+
+``schedule`` builds composable, seeded fault schedules (broker flaps,
+correlated loss bursts, delay spikes, staged escalations); ``campaign``
+replays them phase by phase under a static or degraded-mode control
+policy and emits a deterministic JSON campaign report.
+"""
+
+from .campaign import CampaignReport, PhaseReport, phase_seed, run_campaign
+from .schedule import (
+    ChaosAction,
+    ChaosPhase,
+    ChaosSchedule,
+    baseline_phase,
+    blackout_phase,
+    broker_flap_phase,
+    compose,
+    delay_spike_phase,
+    flap_burst_schedule,
+    loss_burst_phase,
+    staged_escalation_schedule,
+)
+
+__all__ = [
+    "ChaosAction",
+    "ChaosPhase",
+    "ChaosSchedule",
+    "baseline_phase",
+    "loss_burst_phase",
+    "delay_spike_phase",
+    "broker_flap_phase",
+    "blackout_phase",
+    "compose",
+    "flap_burst_schedule",
+    "staged_escalation_schedule",
+    "PhaseReport",
+    "CampaignReport",
+    "phase_seed",
+    "run_campaign",
+]

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction toolkit.
 
-Four subcommands cover the paper's workflow:
+Five subcommands cover the paper's workflow:
 
 ``repro experiment``
     Run one testbed experiment and print the measured reliability.
@@ -14,6 +14,11 @@ Four subcommands cover the paper's workflow:
     Generate a Fig. 9 trace, build the offline configuration plan with a
     stored (or freshly trained) model, replay default vs dynamic policies
     and print the Table II-style rates.
+``repro chaos``
+    Replay a seeded chaos campaign (broker flaps, loss bursts, delay
+    spikes) under the static and/or degraded-mode control policies and
+    print the per-phase degradation; ``--out`` writes the deterministic
+    JSON campaign report.
 ``repro inspect``
     Load a ``--trace-file`` JSONL trace, replay it through the invariant
     checker and print a summary; exits non-zero on any violation.
@@ -30,6 +35,7 @@ import sys
 from typing import List, Optional
 
 from .analysis import render_table
+from .chaos import flap_burst_schedule, run_campaign, staged_escalation_schedule
 from .observability import (
     InvariantViolation,
     TelemetryConfig,
@@ -51,6 +57,7 @@ from .testbed import (
     run_many,
 )
 from .workloads import PAPER_STREAMS
+from .workloads.streams import GAME_TRAFFIC, SOCIAL_MEDIA, WEB_ACCESS_LOGS
 
 __all__ = ["main", "build_parser"]
 
@@ -134,6 +141,37 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--cap", type=int, default=300,
                          help="max messages per measured interval")
     dynamic.add_argument("--seed", type=int, default=2020)
+
+    chaos = sub.add_parser(
+        "chaos", help="replay a seeded chaos campaign and report degradation"
+    )
+    chaos.add_argument(
+        "--schedule", choices=["flap-burst", "staged-escalation"],
+        default="flap-burst",
+    )
+    chaos.add_argument(
+        "--policy", choices=["static", "degraded", "both"], default="both",
+        help="control policy to replay (default: both, for comparison)",
+    )
+    chaos.add_argument(
+        "--stream", choices=["social", "web", "game"], default="web",
+        help="workload shape and KPI weights (default: web access logs)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--cap", type=int, default=None, metavar="N",
+        help="max messages per phase (smoke runs)",
+    )
+    chaos.add_argument(
+        "--registry", metavar="DIR", default=None,
+        help="load a trained predictor; without one the degraded "
+             "controller runs on its fallback chain (reported per phase)",
+    )
+    chaos.add_argument("--name", default="reliability")
+    chaos.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the deterministic JSON campaign report to PATH",
+    )
 
     inspect = sub.add_parser(
         "inspect", help="verify a trace file against its run manifest"
@@ -285,6 +323,74 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    schedules = {
+        "flap-burst": flap_burst_schedule,
+        "staged-escalation": staged_escalation_schedule,
+    }
+    streams = {
+        "social": SOCIAL_MEDIA,
+        "web": WEB_ACCESS_LOGS,
+        "game": GAME_TRAFFIC,
+    }
+    schedule = schedules[args.schedule](seed=args.seed)
+    stream = streams[args.stream]
+    predictor = None
+    if args.registry:
+        predictor = ModelRegistry(args.registry).load(args.name)
+    policies = ["static", "degraded"] if args.policy == "both" else [args.policy]
+    reports = []
+    rows = [["policy", "phase", "P_l", "P_d", "γ meas", "γ pred", "tier",
+             "breaker", "recover"]]
+    for policy in policies:
+        report = run_campaign(
+            schedule,
+            stream=stream,
+            policy=policy,
+            seed=args.seed,
+            predictor=predictor,
+            messages_cap_per_phase=args.cap,
+        )
+        reports.append(report)
+        for phase in report.phases:
+            rows.append([
+                policy,
+                phase.name,
+                f"{phase.p_loss:.3f}",
+                f"{phase.p_duplicate:.3f}",
+                f"{phase.gamma_measured:.3f}",
+                "-" if phase.gamma_predicted is None
+                else f"{phase.gamma_predicted:.3f}",
+                phase.prediction_source or "-",
+                phase.breaker_state or "-",
+                "-" if phase.time_to_recover_s is None
+                else f"{phase.time_to_recover_s:.2f}s",
+            ])
+    print(render_table(rows, title=f"Chaos campaign: {schedule.name} (seed {args.seed})"))
+    for report in reports:
+        print(
+            f"{report.policy}: overall P_l={report.overall_p_loss:.3f} "
+            f"P_d={report.overall_p_duplicate:.3f} "
+            f"mean γ={report.mean_gamma:.3f} "
+            f"parked phases={report.breaker_trips}"
+        )
+    if args.out:
+        if len(reports) == 1:
+            document = reports[0].to_dict()
+        else:
+            document = {
+                "kind": "chaos_campaign_comparison",
+                "schedule": schedule.name,
+                "seed": args.seed,
+                "campaigns": [report.to_dict() for report in reports],
+            }
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     try:
         events, manifest = load_trace_file(args.trace_file)
@@ -328,6 +434,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "train": _cmd_train,
         "dynamic": _cmd_dynamic,
+        "chaos": _cmd_chaos,
         "inspect": _cmd_inspect,
     }
     return handlers[args.command](args)

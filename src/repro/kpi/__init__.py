@@ -14,10 +14,15 @@ from .online import (
     run_online_experiment,
 )
 from .dynamic import (
+    PARKED_CONFIG,
+    CircuitBreaker,
     ConfigPlanEntry,
     ConfigurationPlan,
+    DegradedDecision,
+    DegradedModeController,
     DynamicConfigurationController,
     DynamicRunReport,
+    IntervalObservation,
     required_producers,
     run_traced_experiment,
 )
@@ -39,6 +44,11 @@ __all__ = [
     "ConfigurationPlan",
     "DynamicConfigurationController",
     "DynamicRunReport",
+    "IntervalObservation",
+    "CircuitBreaker",
+    "DegradedDecision",
+    "DegradedModeController",
+    "PARKED_CONFIG",
     "required_producers",
     "run_traced_experiment",
     "ParameterSteps",

@@ -117,6 +117,42 @@ class NetworkStateEstimator:
         )
         self._samples += 1
 
+    def observe_acks(
+        self,
+        acknowledged: int,
+        perceived_lost: int,
+        requests_sent: int = 0,
+        request_retries: int = 0,
+    ) -> None:
+        """Feed producer-level delivery accounting for the last interval.
+
+        Two loss proxies are available without any transport visibility:
+        the fraction of produce requests that needed an application-level
+        retry (each lost request or response costs one retry), and the
+        fraction of records the producer gave up on.  The larger of the
+        two is the pessimistic packet-loss estimate — retries capture
+        transient loss the producer recovered from, give-ups capture loss
+        the retries could not hide.  Intervals with no signal (nothing
+        sent) are ignored.
+        """
+        if acknowledged < 0 or perceived_lost < 0:
+            raise ValueError("ack counters must be non-negative")
+        signals = []
+        if requests_sent > 0:
+            signals.append(request_retries / requests_sent)
+        delivered = acknowledged + perceived_lost
+        if delivered > 0:
+            signals.append(perceived_lost / delivered)
+        if not signals:
+            return
+        inferred = min(0.9, max(signals))
+        self._loss = (
+            inferred
+            if self._loss is None
+            else (1 - self._smoothing) * self._loss + self._smoothing * inferred
+        )
+        self._samples += 1
+
     def estimate(self) -> NetworkStateEstimate:
         """Current belief (zeros before any signal)."""
         return NetworkStateEstimate(

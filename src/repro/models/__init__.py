@@ -9,6 +9,8 @@ pipeline, and ``ModelRegistry`` persists trained predictors.
 
 from .features import ABNORMAL, FeatureSchema, FeatureVector, NORMAL, region_of
 from .predictor import (
+    CONSERVATIVE_ESTIMATE,
+    FallbackEstimate,
     ReliabilityEstimate,
     ReliabilityPredictor,
     SubModel,
@@ -24,6 +26,8 @@ __all__ = [
     "ABNORMAL",
     "region_of",
     "ReliabilityEstimate",
+    "FallbackEstimate",
+    "CONSERVATIVE_ESTIMATE",
     "ReliabilityPredictor",
     "SubModel",
     "TrainingSettings",

@@ -9,6 +9,7 @@ SGD, MSE) behind a standard scaler; predictions are clipped to [0, 1].
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,7 +24,15 @@ from ..testbed.results import ExperimentResult
 from ..testbed.scenario import Scenario
 from .features import ABNORMAL, FeatureSchema, FeatureVector, NORMAL
 
-__all__ = ["TrainingSettings", "ReliabilityEstimate", "SubModel", "ReliabilityPredictor"]
+__all__ = [
+    "TrainingSettings",
+    "ReliabilityEstimate",
+    "FallbackEstimate",
+    "SubModel",
+    "ReliabilityPredictor",
+    "CONSERVATIVE_ESTIMATE",
+]
+
 
 
 @dataclass(frozen=True)
@@ -66,6 +75,32 @@ class ReliabilityEstimate:
                 raise ValueError(f"{name} must be within [0, 1], got {value}")
 
 
+#: The last resort of the prediction fallback chain: assume the network is
+#: bad enough that half the stream is at risk and duplicates are possible.
+#: Deliberately pessimistic so a controller falling back to it prefers the
+#: safest configurations rather than optimistic, brittle ones.
+CONSERVATIVE_ESTIMATE = ReliabilityEstimate(p_loss=0.5, p_duplicate=0.05)
+
+
+@dataclass(frozen=True)
+class FallbackEstimate:
+    """A prediction plus the fallback-chain tier that produced it.
+
+    ``source`` is one of ``"ann"`` (a trained submodel served the
+    prediction), ``"neighbour"`` (nearest measured neighbour of the query
+    among remembered results) or ``"conservative"`` (the pessimistic
+    built-in default — nothing else applied).
+    """
+
+    estimate: ReliabilityEstimate
+    source: str
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the prediction came from a fallback tier, not the ANN."""
+        return self.source != "ann"
+
+
 class SubModel:
     """One (region, semantics) ANN with its scaler."""
 
@@ -93,8 +128,21 @@ class SubModel:
 class ReliabilityPredictor:
     """Routes feature vectors to trained submodels (the Eq. 1 ``f``)."""
 
+    #: Characteristic scales used to normalise feature distances in the
+    #: nearest-neighbour fallback (roughly the spans of the Fig. 3 grid).
+    _NEIGHBOUR_SCALES = {
+        "message_bytes": 1000.0,
+        "timeliness_s": 10.0,
+        "network_delay_s": 0.4,
+        "loss_rate": 0.3,
+        "batch_size": 10.0,
+        "polling_interval_s": 0.1,
+        "message_timeout_s": 3.0,
+    }
+
     def __init__(self) -> None:
         self.submodels: Dict[Tuple[str, str], SubModel] = {}
+        self._memory: List[ExperimentResult] = []
 
     # ------------------------------------------------------------ training
 
@@ -118,6 +166,11 @@ class ReliabilityPredictor:
         if not results:
             raise ValueError("no training data")
         settings = settings if settings is not None else TrainingSettings()
+        # Training rows double as the neighbour-fallback lookup table, so a
+        # freshly trained predictor degrades gracefully out of the box.
+        # (Registry persistence stores only the networks; reload and call
+        # :meth:`remember` to rebuild the table from saved results.)
+        self._memory.extend(results)
         groups: Dict[Tuple[str, str], List[ExperimentResult]] = {}
         for result in results:
             vector = FeatureVector.from_result(result)
@@ -199,6 +252,77 @@ class ReliabilityPredictor:
     def predict_scenario(self, scenario: Scenario) -> ReliabilityEstimate:
         """Predict for a testbed scenario (Eq. 1 with scenario inputs)."""
         return self.predict_vector(FeatureVector.from_scenario(scenario))
+
+    # ------------------------------------------------------------ fallback
+
+    def remember(self, results: Sequence[ExperimentResult]) -> int:
+        """Retain measured rows for the nearest-neighbour fallback tier.
+
+        Training already consumes measured results; remembering them (or
+        any later measurements) keeps a plain lookup table the fallback
+        chain can serve from when no submodel covers a query — e.g. a
+        semantics/region combination that had too few training rows, or a
+        predictor still warming up.  Returns the total remembered rows.
+        """
+        self._memory.extend(results)
+        return len(self._memory)
+
+    @property
+    def remembered_rows(self) -> int:
+        """Number of measured rows available to the neighbour fallback."""
+        return len(self._memory)
+
+    def _neighbour_distance(
+        self, vector: FeatureVector, candidate: FeatureVector
+    ) -> float:
+        total = 0.0
+        for name, scale in self._NEIGHBOUR_SCALES.items():
+            delta = (getattr(vector, name) - getattr(candidate, name)) / scale
+            total += delta * delta
+        return total
+
+    def _nearest_neighbour(
+        self, vector: FeatureVector
+    ) -> Optional[ReliabilityEstimate]:
+        """Measured result closest to ``vector`` under the same semantics.
+
+        Ties resolve to the earliest remembered row, so the tier is
+        deterministic for a fixed memory.
+        """
+        best: Optional[ExperimentResult] = None
+        best_distance = math.inf
+        for row in self._memory:
+            candidate = FeatureVector.from_result(row)
+            if candidate.semantics is not vector.semantics:
+                continue
+            distance = self._neighbour_distance(vector, candidate)
+            if distance < best_distance:
+                best, best_distance = row, distance
+        if best is None:
+            return None
+        return ReliabilityEstimate(
+            p_loss=min(1.0, max(0.0, best.p_loss)),
+            p_duplicate=min(1.0, max(0.0, best.p_duplicate)),
+        )
+
+    def predict_with_fallback(self, vector: FeatureVector) -> FallbackEstimate:
+        """Predict through the degradation chain, never raising ``KeyError``.
+
+        Tier 1 is the trained ANN submodel (the normal path).  When no
+        submodel covers the query, tier 2 answers with the measured result
+        nearest in feature space under the same semantics.  With no usable
+        memory either, tier 3 returns :data:`CONSERVATIVE_ESTIMATE` — a
+        pessimistic constant that steers any downstream configuration
+        search toward the safest settings.
+        """
+        try:
+            return FallbackEstimate(self.predict_vector(vector), "ann")
+        except KeyError:
+            pass
+        neighbour = self._nearest_neighbour(vector)
+        if neighbour is not None:
+            return FallbackEstimate(neighbour, "neighbour")
+        return FallbackEstimate(CONSERVATIVE_ESTIMATE, "conservative")
 
     # ---------------------------------------------------------- evaluation
 

@@ -15,6 +15,7 @@ module.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -90,12 +91,26 @@ class NetworkFault:
     burst_length: float = 4.0
 
     def __post_init__(self) -> None:
-        if self.delay_s < 0 or self.jitter_s < 0:
-            raise ValueError("delay and jitter must be non-negative")
+        for name in ("delay_s", "loss_rate", "jitter_s", "burst_length"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{name} must be a number, got {value!r}")
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value!r}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {self.delay_s}")
+        if self.jitter_s < 0:
+            raise ValueError(f"jitter_s must be non-negative, got {self.jitter_s}")
         if not 0.0 <= self.loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1)")
+            raise ValueError(
+                f"loss_rate must be in [0, 1) — a rate of 1 would sever the "
+                f"link forever; got {self.loss_rate}"
+            )
         if self.burst_length < 1.0:
-            raise ValueError("burst_length must be >= 1")
+            raise ValueError(
+                f"burst_length is a mean burst of consecutive packets and "
+                f"must be >= 1, got {self.burst_length}"
+            )
 
     def build_latency(self) -> LatencyModel:
         """Materialise the delay treatment as a latency model."""

@@ -92,8 +92,22 @@ class GilbertElliottRateProcess:
         bad_rate: float = 0.18,
         rate_jitter: float = 0.03,
     ) -> None:
-        if not 0 <= good_rate < 1 or not 0 <= bad_rate < 1:
-            raise ValueError("rates must be in [0, 1)")
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name, value in (("good_rate", good_rate), ("bad_rate", bad_rate)):
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        if bad_rate < good_rate:
+            raise ValueError(
+                f"bad_rate ({bad_rate}) must be >= good_rate ({good_rate}); "
+                f"an inverted pair silently flips the chain's meaning"
+            )
+        if rate_jitter < 0:
+            raise ValueError(f"rate_jitter must be non-negative, got {rate_jitter}")
         self._chain = GilbertElliottLoss(p_good_to_bad, p_bad_to_good)
         self.good_rate = float(good_rate)
         self.bad_rate = float(bad_rate)

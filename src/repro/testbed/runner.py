@@ -21,24 +21,39 @@ Failures inside a worker never take the whole grid down silently: each
 scenario's exception is captured with its traceback and either re-raised
 as :class:`ExperimentFailed` (default) or returned in-slot as a
 :class:`RunFailure` (``on_error="collect"``).
+
+Fault tolerance (:class:`RetryPolicy`): transiently failing scenarios are
+retried with exponential backoff plus deterministic jitter, each attempt
+bounded by an optional wall-clock timeout (enforced by running attempts
+in pool workers the parent can abandon).  Because fresh results are
+written to the cache as they complete, an interrupted sweep — killed
+worker, timeout, Ctrl-C — resumes from the cache on the next call
+without recomputing finished scenarios.  A persistent
+:class:`~repro.testbed.cache.Quarantine` parks scenarios that keep
+exhausting their retry budget so one poisoned grid point cannot sink the
+sweep.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
+import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..observability.telemetry import TelemetryConfig
-from .cache import ResultCache
+from .cache import Quarantine, ResultCache, default_salt, scenario_fingerprint
 from .experiment import run_experiment
 from .results import ExperimentResult
 from .scenario import Scenario
 
 __all__ = [
     "WORKERS_ENV_VAR",
+    "RetryPolicy",
     "RunFailure",
     "ExperimentFailed",
     "resolve_workers",
@@ -53,6 +68,62 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 ProgressFn = Callable[[int, int, Scenario], None]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per scenario (1 = no retry).
+    backoff_base_s:
+        Pause before the first retry; attempt ``n`` waits
+        ``backoff_base_s * backoff_factor**(n-1)``.
+    backoff_factor:
+        Exponential growth of the backoff.
+    jitter_fraction:
+        Symmetric jitter applied to each backoff, derived from a BLAKE2b
+        hash of ``(scenario fingerprint, attempt)`` — fully deterministic,
+        so a re-run sleeps the exact same schedule.
+    timeout_s:
+        Optional wall-clock budget per attempt.  Enforced by running
+        attempts in pool workers the parent abandons on expiry, so it
+        also covers hung (not just slow) runs; requires the pool path and
+        therefore forces one even for a single pending scenario.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.1
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive when given")
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``key``."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter_fraction == 0.0 or base == 0.0:
+            return base
+        digest = hashlib.blake2b(
+            f"{key}:{attempt}".encode("utf-8"), digest_size=8
+        ).digest()
+        unit = int.from_bytes(digest, "big") / 2**64
+        return base * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
+
+
 @dataclass
 class RunFailure:
     """A captured per-scenario failure (``on_error="collect"`` slot)."""
@@ -60,24 +131,50 @@ class RunFailure:
     scenario: Scenario
     error: str
     traceback: str
+    attempts: int = 1
+    fingerprint: str = ""
+    quarantined: bool = False
 
     def __bool__(self) -> bool:  # failed slots are falsy for easy filtering
         return False
 
 
 class ExperimentFailed(RuntimeError):
-    """One or more scenarios of a :func:`run_many` grid raised."""
+    """One or more scenarios of a :func:`run_many` grid raised.
+
+    The message identifies the first few failing scenarios by cache
+    fingerprint and seed and quotes the tail of each traceback, so a
+    failed overnight sweep is diagnosable from the exception alone.
+    """
+
+    #: How many failures the message details.
+    SHOWN = 3
+    #: Traceback lines quoted per shown failure.
+    TRACEBACK_TAIL = 6
 
     def __init__(self, failures: Sequence[RunFailure]) -> None:
         self.failures = list(failures)
-        first = self.failures[0]
-        extra = (
-            f" (+{len(self.failures) - 1} more)" if len(self.failures) > 1 else ""
-        )
-        super().__init__(
-            f"{len(self.failures)} scenario(s) failed{extra}; first: "
-            f"{first.error}\n{first.traceback}"
-        )
+        shown = self.failures[: self.SHOWN]
+        lines = [
+            f"{len(self.failures)} scenario(s) failed "
+            f"(showing first {len(shown)}):"
+        ]
+        for position, failure in enumerate(shown, start=1):
+            fingerprint = failure.fingerprint or scenario_fingerprint(
+                failure.scenario, default_salt()
+            )
+            attempts = (
+                f", {failure.attempts} attempt(s)" if failure.attempts > 1 else ""
+            )
+            lines.append(
+                f"  [{position}] {fingerprint[:12]} seed={failure.scenario.seed}"
+                f"{attempts}: {failure.error}"
+            )
+            tail = failure.traceback.strip().splitlines()[-self.TRACEBACK_TAIL :]
+            lines.extend(f"      {line}" for line in tail)
+        if len(self.failures) > len(shown):
+            lines.append(f"  ... and {len(self.failures) - len(shown)} more")
+        super().__init__("\n".join(lines))
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -125,6 +222,9 @@ def run_many(
     on_error: str = "raise",
     chunksize: Optional[int] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    retry: Optional[RetryPolicy] = None,
+    quarantine: Optional[Quarantine] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> List[Union[ExperimentResult, RunFailure]]:
     """Run many experiments, in parallel, in deterministic input order.
 
@@ -137,7 +237,8 @@ def run_many(
         is capped at the number of scenarios actually needing a run.
     cache:
         Optional result cache; hits skip the run, fresh results are
-        written back.
+        written back *as each scenario completes*, so an interrupted
+        sweep resumes from the cache without recomputing finished rows.
     progress:
         ``progress(index, total, scenario)`` invoked as each scenario
         completes (cache hits report immediately).
@@ -148,19 +249,36 @@ def run_many(
     chunksize:
         Scenarios handed to a worker per dispatch; defaults to a value
         that gives each worker ~4 chunks for even load with low IPC.
+        Only used on the no-retry pool path (retries dispatch singly).
     telemetry:
         Optional :class:`~repro.observability.telemetry.TelemetryConfig`
         applied to every fresh run (cache hits keep whatever manifest they
         were stored with).  A ``trace_path`` is specialised per grid slot
         via :meth:`TelemetryConfig.for_scenario` so parallel workers never
         interleave writes into one file.
+    retry:
+        Optional :class:`RetryPolicy`: failed attempts are retried with
+        exponential backoff and deterministic jitter; a ``timeout_s``
+        bounds each attempt's wall clock (timeout enforcement needs pool
+        workers, so it forces the pool path even for one scenario).
+    quarantine:
+        Optional :class:`~repro.testbed.cache.Quarantine`.  Scenarios
+        already quarantined are skipped up front (their slot is a
+        :class:`RunFailure` with ``quarantined=True``); scenarios that
+        exhaust their retry budget are recorded into it.  Providing a
+        quarantine implies collect semantics for failures — the grid
+        never raises :class:`ExperimentFailed`, because parking the
+        persistent failers and completing the rest is the point.
+    sleep:
+        Backoff sleep hook (tests inject a recorder; production uses
+        :func:`time.sleep`).
 
     Returns
     -------
     list
         One entry per scenario, same order as the input.  Entries are
         :class:`ExperimentResult`, or :class:`RunFailure` under
-        ``on_error="collect"``.
+        ``on_error="collect"`` or a quarantine.
     """
     if on_error not in ("raise", "collect"):
         raise ValueError('on_error must be "raise" or "collect"')
@@ -168,28 +286,67 @@ def run_many(
     total = len(scenarios)
     results: List[Union[ExperimentResult, RunFailure, None]] = [None] * total
     pending: List[int] = []
+    salt = cache.salt if cache is not None else default_salt()
+    fingerprints: Dict[int, str] = {}
+
+    def fingerprint(index: int) -> str:
+        key = fingerprints.get(index)
+        if key is None:
+            key = scenario_fingerprint(scenarios[index], salt)
+            fingerprints[index] = key
+        return key
+
+    raising_failures: List[RunFailure] = []
     for index, scenario in enumerate(scenarios):
         hit = cache.get(scenario) if cache is not None else None
         if hit is not None:
             results[index] = hit
             if progress is not None:
                 progress(index, total, scenario)
-        else:
-            pending.append(index)
+            continue
+        if quarantine is not None and quarantine.is_quarantined(fingerprint(index)):
+            results[index] = RunFailure(
+                scenario=scenario,
+                error=(
+                    f"quarantined after "
+                    f"{quarantine.failures(fingerprint(index))} recorded "
+                    f"failure(s); last: {quarantine.last_error(fingerprint(index))}"
+                ),
+                traceback="",
+                attempts=0,
+                fingerprint=fingerprint(index),
+                quarantined=True,
+            )
+            if progress is not None:
+                progress(index, total, scenario)
+            continue
+        pending.append(index)
 
-    failures: List[RunFailure] = []
-
-    def record(index: int, ok: bool, payload: object) -> None:
+    def record_success(index: int, result: ExperimentResult) -> None:
         scenario = scenarios[index]
-        if ok:
-            results[index] = payload
-            if cache is not None:
-                cache.put(scenario, payload)
-        else:
-            error, trace = payload
-            failure = RunFailure(scenario=scenario, error=error, traceback=trace)
-            results[index] = failure
-            failures.append(failure)
+        results[index] = result
+        if cache is not None:
+            cache.put(scenario, result)
+        if progress is not None:
+            progress(index, total, scenario)
+
+    def record_failure(index: int, error: str, trace: str, attempts: int) -> None:
+        scenario = scenarios[index]
+        quarantined = False
+        if quarantine is not None:
+            quarantine.record_failure(fingerprint(index), error, seed=scenario.seed)
+            quarantined = quarantine.is_quarantined(fingerprint(index))
+        failure = RunFailure(
+            scenario=scenario,
+            error=error,
+            traceback=trace,
+            attempts=attempts,
+            fingerprint=fingerprint(index),
+            quarantined=quarantined,
+        )
+        results[index] = failure
+        if quarantine is None:
+            raising_failures.append(failure)
         if progress is not None:
             progress(index, total, scenario)
 
@@ -201,11 +358,21 @@ def run_many(
 
     if pending:
         workers = min(resolve_workers(workers), len(pending))
-        if workers <= 1:
+        needs_pool = workers > 1 or (retry is not None and retry.timeout_s is not None)
+        if not needs_pool:
+            max_attempts = retry.max_attempts if retry is not None else 1
             for index in pending:
-                ok, payload = _run_one(job_for(index))
-                record(index, ok, payload)
-        else:
+                for attempt in range(1, max_attempts + 1):
+                    ok, payload = _run_one(job_for(index))
+                    if ok:
+                        record_success(index, payload)
+                        break
+                    if attempt < max_attempts:
+                        sleep(retry.delay_s(fingerprint(index), attempt))
+                    else:
+                        error, trace = payload
+                        record_failure(index, error, trace, attempts=attempt)
+        elif retry is None:
             if chunksize is None:
                 chunksize = max(1, len(pending) // (workers * 4))
             context = multiprocessing.get_context("spawn")
@@ -216,8 +383,79 @@ def run_many(
                     chunksize=chunksize,
                 )
                 for index, (ok, payload) in zip(pending, outcomes):
-                    record(index, ok, payload)
+                    if ok:
+                        record_success(index, payload)
+                    else:
+                        error, trace = payload
+                        record_failure(index, error, trace, attempts=1)
+        else:
+            _drain_pool_with_retry(
+                pending,
+                job_for,
+                fingerprint,
+                retry,
+                workers,
+                record_success,
+                record_failure,
+                sleep,
+            )
 
-    if failures and on_error == "raise":
-        raise ExperimentFailed(failures)
+    if raising_failures and on_error == "raise":
+        raise ExperimentFailed(raising_failures)
     return results  # type: ignore[return-value]  # every slot is filled
+
+
+def _drain_pool_with_retry(
+    pending: Sequence[int],
+    job_for: Callable[[int], Tuple[Scenario, Optional[TelemetryConfig]]],
+    fingerprint: Callable[[int], str],
+    retry: RetryPolicy,
+    workers: int,
+    record_success: Callable[[int, ExperimentResult], None],
+    record_failure: Callable[[int, str, str, int], None],
+    sleep: Callable[[float], None],
+) -> None:
+    """Pool execution with per-attempt timeouts and bounded retry.
+
+    Jobs are dispatched singly via ``apply_async`` so each attempt has its
+    own result handle and wall-clock deadline; a timed-out attempt is
+    abandoned (its worker is reaped when the pool exits) and the scenario
+    is resubmitted until its budget runs out.  Settlement follows input
+    order, so slots, failure order and the backoff schedule are all
+    deterministic regardless of which worker finishes first.
+    """
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=workers) as pool:
+        active: Dict[int, Tuple[object, int]] = {
+            index: (pool.apply_async(_run_one, (job_for(index),)), 1)
+            for index in pending
+        }
+        order = deque(pending)
+        while order:
+            index = order.popleft()
+            task, attempt = active.pop(index)
+            try:
+                ok, payload = task.get(timeout=retry.timeout_s)
+            except multiprocessing.TimeoutError:
+                ok = False
+                payload = (
+                    f"TimeoutError('attempt {attempt} exceeded "
+                    f"{retry.timeout_s} s wall clock')",
+                    "(attempt abandoned after wall-clock timeout)",
+                )
+            except Exception as exc:  # noqa: BLE001 - pool/IPC layer failure
+                ok = False
+                payload = (repr(exc), traceback.format_exc())
+            if ok:
+                record_success(index, payload)
+                continue
+            if attempt < retry.max_attempts:
+                sleep(retry.delay_s(fingerprint(index), attempt))
+                active[index] = (
+                    pool.apply_async(_run_one, (job_for(index),)),
+                    attempt + 1,
+                )
+                order.append(index)
+            else:
+                error, trace = payload
+                record_failure(index, error, trace, attempt)

@@ -1,0 +1,181 @@
+"""Unit tests for chaos schedules: validation, builders, determinism."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosAction,
+    ChaosPhase,
+    ChaosSchedule,
+    baseline_phase,
+    blackout_phase,
+    broker_flap_phase,
+    compose,
+    delay_spike_phase,
+    flap_burst_schedule,
+    loss_burst_phase,
+    phase_seed,
+    staged_escalation_schedule,
+)
+from repro.chaos.schedule import DEFAULT_BROKERS
+from repro.network.faults import NetworkFault
+
+LOSS = NetworkFault(loss_rate=0.2)
+
+
+class TestChaosAction:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ChaosAction(time_s=-0.1, kind="clear_fault")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown action kind"):
+            ChaosAction(time_s=1.0, kind="unplug_cable")
+
+    def test_inject_requires_fault(self):
+        with pytest.raises(ValueError, match="needs a fault"):
+            ChaosAction(time_s=1.0, kind="inject_fault")
+
+    def test_broker_kinds_require_broker_id(self):
+        for kind in ("crash_broker", "restore_broker"):
+            with pytest.raises(ValueError, match="broker_id"):
+                ChaosAction(time_s=1.0, kind=kind)
+
+
+class TestChaosPhase:
+    def test_actions_sorted_chronologically(self):
+        phase = ChaosPhase(
+            name="p",
+            duration_s=5.0,
+            actions=(
+                ChaosAction(time_s=3.0, kind="clear_fault"),
+                ChaosAction(time_s=1.0, kind="inject_fault", fault=LOSS),
+            ),
+        )
+        assert [a.time_s for a in phase.actions] == [1.0, 3.0]
+
+    def test_action_outside_duration_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            ChaosPhase(
+                name="p",
+                duration_s=2.0,
+                actions=(ChaosAction(time_s=2.0, kind="clear_fault"),),
+            )
+
+    def test_requires_name_and_positive_duration(self):
+        with pytest.raises(ValueError):
+            ChaosPhase(name="", duration_s=1.0)
+        with pytest.raises(ValueError):
+            ChaosPhase(name="p", duration_s=0.0)
+
+    def test_last_recovery_tracks_restores_and_clears(self):
+        phase = ChaosPhase(
+            name="p",
+            duration_s=6.0,
+            actions=(
+                ChaosAction(time_s=1.0, kind="crash_broker", broker_id="broker-0"),
+                ChaosAction(time_s=2.5, kind="restore_broker", broker_id="broker-0"),
+                ChaosAction(time_s=0.5, kind="inject_fault", fault=LOSS),
+                ChaosAction(time_s=4.0, kind="clear_fault"),
+            ),
+        )
+        assert phase.last_recovery_s == 4.0
+        assert baseline_phase().last_recovery_s is None
+        assert blackout_phase().last_recovery_s is None
+
+
+class TestChaosSchedule:
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule(name="empty", phases=())
+
+    def test_duration_sums_phases(self):
+        schedule = compose("s", baseline_phase(2.0), baseline_phase(3.0, name="b"))
+        assert schedule.duration_s == pytest.approx(5.0)
+
+    def test_compose_flattens_schedules(self):
+        inner = compose("inner", baseline_phase(1.0), blackout_phase())
+        outer = compose("outer", baseline_phase(2.0, name="warm"), inner)
+        assert [p.name for p in outer.phases] == ["warm", "baseline", "blackout"]
+
+
+class TestBuilders:
+    def test_same_seed_same_schedule(self):
+        assert flap_burst_schedule(seed=3) == flap_burst_schedule(seed=3)
+        assert staged_escalation_schedule(seed=3) == staged_escalation_schedule(seed=3)
+
+    def test_different_seed_moves_jittered_actions(self):
+        a = loss_burst_phase(seed=1)
+        b = loss_burst_phase(seed=2)
+        assert a != b
+        assert {x.kind for x in a.actions} == {x.kind for x in b.actions}
+
+    def test_loss_burst_actions_inside_phase(self):
+        for seed in range(5):
+            phase = loss_burst_phase(duration_s=5.0, seed=seed)
+            inject, clear = phase.actions
+            assert inject.kind == "inject_fault"
+            assert inject.fault.bursty
+            assert clear.kind == "clear_fault"
+            assert 0.0 < inject.time_s < clear.time_s < 5.0
+
+    def test_delay_spike_count_and_bounds(self):
+        phase = delay_spike_phase(duration_s=6.0, spikes=3, seed=4)
+        assert len(phase.actions) == 6
+        assert phase.last_recovery_s is not None
+        with pytest.raises(ValueError):
+            delay_spike_phase(spikes=0)
+
+    def test_broker_flap_crashes_and_restores_every_broker(self):
+        phase = broker_flap_phase(duration_s=6.0, downtime_s=2.4, seed=7)
+        crashes = [a for a in phase.actions if a.kind == "crash_broker"]
+        restores = [a for a in phase.actions if a.kind == "restore_broker"]
+        assert {a.broker_id for a in crashes} == set(DEFAULT_BROKERS)
+        assert {a.broker_id for a in restores} == set(DEFAULT_BROKERS)
+        downtime = restores[0].time_s - crashes[0].time_s
+        assert downtime == pytest.approx(2.4)
+
+    def test_broker_flap_downtime_must_fit(self):
+        with pytest.raises(ValueError, match="room"):
+            broker_flap_phase(duration_s=2.0, downtime_s=2.4)
+
+    def test_blackout_never_restores(self):
+        phase = blackout_phase()
+        assert all(a.kind == "crash_broker" for a in phase.actions)
+
+
+class TestPhaseSeed:
+    def test_stable_and_distinct(self):
+        assert phase_seed(1, 0, "baseline") == phase_seed(1, 0, "baseline")
+        assert phase_seed(1, 0, "baseline") != phase_seed(1, 1, "baseline")
+        assert phase_seed(1, 0, "baseline") != phase_seed(1, 0, "blackout")
+        assert phase_seed(1, 0, "baseline") != phase_seed(2, 0, "baseline")
+
+
+class TestFaultValidation:
+    def test_field_specific_messages(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            NetworkFault(delay_s=-0.1)
+        with pytest.raises(ValueError, match="jitter_s"):
+            NetworkFault(jitter_s=-0.1)
+        with pytest.raises(ValueError, match="loss_rate"):
+            NetworkFault(loss_rate=1.0)
+        with pytest.raises(ValueError, match="burst_length"):
+            NetworkFault(burst_length=0.5)
+
+    def test_non_finite_and_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            NetworkFault(delay_s=float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            NetworkFault(loss_rate=float("inf"))
+        with pytest.raises(ValueError, match="number"):
+            NetworkFault(delay_s="fast")
+
+    def test_rate_process_validation(self):
+        from repro.network.trace import GilbertElliottRateProcess
+
+        with pytest.raises(ValueError, match="p_good_to_bad"):
+            GilbertElliottRateProcess(p_good_to_bad=1.5)
+        with pytest.raises(ValueError, match="bad_rate"):
+            GilbertElliottRateProcess(good_rate=0.2, bad_rate=0.1)
+        with pytest.raises(ValueError, match="rate_jitter"):
+            GilbertElliottRateProcess(rate_jitter=-0.01)

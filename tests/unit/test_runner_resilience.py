@@ -1,0 +1,280 @@
+"""Unit tests for fault-tolerant sweep execution: retry, timeout, quarantine."""
+
+import json
+
+import pytest
+
+import repro.testbed.runner as runner_mod
+from repro.observability.metrics import MetricsRegistry
+from repro.testbed import (
+    ExperimentFailed,
+    Quarantine,
+    ResultCache,
+    RetryPolicy,
+    RunFailure,
+    Scenario,
+    run_many,
+    scenario_fingerprint,
+)
+
+SMALL = Scenario(message_count=60, seed=3)
+
+
+def flaky_run_experiment(fail_seeds, fail_times=None, counter=None):
+    """A run_experiment stand-in failing for the given seeds.
+
+    ``fail_times`` bounds how many times each seed fails (None = always);
+    ``counter`` collects per-seed call counts.
+    """
+    real = runner_mod.run_experiment
+    calls = {}
+
+    def fake(scenario, telemetry=None):
+        calls[scenario.seed] = calls.get(scenario.seed, 0) + 1
+        if counter is not None:
+            counter[scenario.seed] = calls[scenario.seed]
+        if scenario.seed in fail_seeds:
+            if fail_times is None or calls[scenario.seed] <= fail_times:
+                raise RuntimeError(f"injected failure #{calls[scenario.seed]}")
+        return real(scenario)
+
+    return fake
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+
+    def test_delay_is_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(backoff_base_s=0.1, jitter_fraction=0.2)
+        assert policy.delay_s("abc", 1) == policy.delay_s("abc", 1)
+        assert policy.delay_s("abc", 1) != policy.delay_s("abc", 2)
+        assert policy.delay_s("abc", 1) != policy.delay_s("xyz", 1)
+
+    def test_delay_grows_exponentially_within_jitter(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, jitter_fraction=0.1
+        )
+        for attempt, nominal in ((1, 0.1), (2, 0.2), (3, 0.4)):
+            delay = policy.delay_s("key", attempt)
+            assert nominal * 0.9 <= delay <= nominal * 1.1
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_base_s=0.05, jitter_fraction=0.0)
+        assert policy.delay_s("k", 1) == pytest.approx(0.05)
+        assert policy.delay_s("k", 2) == pytest.approx(0.10)
+
+
+class TestRetryExecution:
+    def test_transient_failure_recovers_within_budget(self, monkeypatch):
+        counter = {}
+        monkeypatch.setattr(
+            runner_mod,
+            "run_experiment",
+            flaky_run_experiment({3}, fail_times=2, counter=counter),
+        )
+        sleeps = []
+        [result] = run_many(
+            [SMALL],
+            workers=1,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.01),
+            sleep=sleeps.append,
+        )
+        assert not isinstance(result, RunFailure)
+        assert counter[3] == 3
+        assert len(sleeps) == 2
+        assert all(s > 0 for s in sleeps)
+
+    def test_backoff_schedule_is_reproducible(self, monkeypatch):
+        schedules = []
+        for _ in range(2):
+            monkeypatch.setattr(
+                runner_mod, "run_experiment", flaky_run_experiment({3})
+            )
+            sleeps = []
+            run_many(
+                [SMALL],
+                workers=1,
+                retry=RetryPolicy(max_attempts=3, backoff_base_s=0.02),
+                on_error="collect",
+                sleep=sleeps.append,
+            )
+            schedules.append(tuple(sleeps))
+        assert schedules[0] == schedules[1]
+
+    def test_failure_message_carries_fingerprint_and_traceback(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "run_experiment", flaky_run_experiment({3}))
+        with pytest.raises(ExperimentFailed) as excinfo:
+            run_many(
+                [SMALL],
+                workers=1,
+                retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+                sleep=lambda s: None,
+            )
+        message = str(excinfo.value)
+        from repro.testbed.cache import default_salt
+
+        fingerprint = scenario_fingerprint(SMALL, default_salt())
+        assert fingerprint[:12] in message
+        assert "attempt" in message
+        assert "RuntimeError" in message
+        assert "injected failure" in message
+
+    def test_failure_message_truncates_long_grids(self, monkeypatch):
+        scenarios = [SMALL.with_(seed=seed) for seed in range(10, 16)]
+        monkeypatch.setattr(
+            runner_mod,
+            "run_experiment",
+            flaky_run_experiment(set(range(10, 16))),
+        )
+        with pytest.raises(ExperimentFailed) as excinfo:
+            run_many(scenarios, workers=1, sleep=lambda s: None)
+        message = str(excinfo.value)
+        assert "6 scenario(s) failed" in message
+        assert "and 3 more" in message
+
+
+class TestQuarantine:
+    def test_budget_gates_quarantine(self, tmp_path):
+        quarantine = Quarantine(tmp_path / "q.json", budget=2)
+        assert quarantine.record_failure("fp", "boom", seed=1) is False
+        assert not quarantine.is_quarantined("fp")
+        assert quarantine.record_failure("fp", "boom again", seed=1) is True
+        assert quarantine.is_quarantined("fp")
+        assert quarantine.failures("fp") == 2
+        assert quarantine.last_error("fp") == "boom again"
+
+    def test_state_survives_reload(self, tmp_path):
+        path = tmp_path / "q.json"
+        Quarantine(path).record_failure("fp", "boom")
+        reloaded = Quarantine(path)
+        assert reloaded.is_quarantined("fp")
+        assert len(reloaded) == 1
+
+    def test_corrupt_file_resets_to_empty(self, tmp_path):
+        path = tmp_path / "q.json"
+        path.write_text("{not json")
+        quarantine = Quarantine(path)
+        assert len(quarantine) == 0
+        assert not quarantine.is_quarantined("fp")
+
+    def test_remove_and_clear(self, tmp_path):
+        quarantine = Quarantine(tmp_path / "q.json")
+        quarantine.record_failure("a", "x")
+        quarantine.record_failure("b", "y")
+        assert quarantine.remove("a") is True
+        assert quarantine.remove("a") is False
+        assert quarantine.clear() == 1
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Quarantine(tmp_path / "q.json", budget=0)
+
+    def test_run_many_quarantines_persistent_failure(self, tmp_path, monkeypatch):
+        counter = {}
+        monkeypatch.setattr(
+            runner_mod,
+            "run_experiment",
+            flaky_run_experiment({3}, counter=counter),
+        )
+        quarantine = Quarantine(tmp_path / "q.json", budget=1)
+        good = SMALL.with_(seed=9)
+        results = run_many(
+            [good, SMALL],
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+            quarantine=quarantine,
+            sleep=lambda s: None,
+        )
+        # The grid completed despite the persistent failure: no raise.
+        assert not isinstance(results[0], RunFailure)
+        failure = results[1]
+        assert isinstance(failure, RunFailure)
+        assert failure.attempts == 2
+        assert failure.quarantined
+
+        # Re-running skips the quarantined scenario entirely.
+        counter.clear()
+        results = run_many(
+            [good, SMALL],
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+            quarantine=quarantine,
+            sleep=lambda s: None,
+        )
+        assert 3 not in counter
+        skipped = results[1]
+        assert isinstance(skipped, RunFailure)
+        assert skipped.quarantined
+        assert skipped.attempts == 0
+        assert "quarantined" in skipped.error
+
+
+class TestCacheCorruption:
+    def test_corrupt_entry_is_quarantined_and_counted(self, tmp_path):
+        metrics = MetricsRegistry()
+        cache = ResultCache(tmp_path, salt="v1", metrics=metrics)
+        [result] = run_many([SMALL], workers=1, cache=cache)
+        path = cache._path(cache.key(SMALL))
+        path.write_text("{torn write")
+
+        assert cache.get(SMALL) is None
+        assert cache.corruptions == 1
+        assert metrics.counter("cache.corrupt_entries").value == 1
+        # The bad file moved aside for post-mortem and left the lookup path.
+        assert not path.exists()
+        assert (tmp_path / ResultCache.CORRUPT_DIR / path.name).exists()
+        assert len(cache) == 0
+
+        # A fresh write repairs the slot.
+        cache.put(SMALL, result)
+        assert cache.get(SMALL) == result
+
+    def test_unknown_fields_count_as_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="v1")
+        run_many([SMALL], workers=1, cache=cache)
+        path = cache._path(cache.key(SMALL))
+        payload = json.loads(path.read_text())
+        payload["result"]["not_a_field"] = 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(SMALL) is None
+        assert cache.corruptions == 1
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_from_cache(self, tmp_path, monkeypatch):
+        scenarios = [SMALL.with_(seed=seed) for seed in (21, 22, 23, 24)]
+        cache = ResultCache(tmp_path, salt="v1")
+        real = runner_mod.run_experiment
+
+        def interrupt_third(scenario, telemetry=None):
+            if scenario.seed == 23:
+                raise KeyboardInterrupt
+            return real(scenario)
+
+        monkeypatch.setattr(runner_mod, "run_experiment", interrupt_third)
+        with pytest.raises(KeyboardInterrupt):
+            run_many(scenarios, workers=1, cache=cache)
+        assert len(cache) == 2  # the two finished rows were checkpointed
+
+        ran = []
+
+        def counting(scenario, telemetry=None):
+            ran.append(scenario.seed)
+            return real(scenario)
+
+        monkeypatch.setattr(runner_mod, "run_experiment", counting)
+        results = run_many(scenarios, workers=1, cache=cache)
+        assert len(results) == 4
+        assert all(not isinstance(r, RunFailure) for r in results)
+        # Only the interrupted tail was recomputed.
+        assert sorted(ran) == [23, 24]
