@@ -4,11 +4,13 @@ Measures the two perf claims of the parallel-engine PR and records them
 in ``BENCH_parallel.json`` at the repository root:
 
 1. **Sweep speedup** — a 16-point grid run serially and with a 4-worker
-   spawn pool; the results must be bit-identical and the wall-clock ratio
-   is the speedup.  On hosts without enough cores (the pool cannot beat
-   the serial loop physically) the measurement is still recorded, with
-   ``cpu_count`` alongside so the number can be judged in context; the
-   speedup assertion only applies when ≥ 4 CPUs are available.
+   budget; the results must be bit-identical and the wall-clock ratio is
+   the speedup.  The engine auto-falls back to the serial loop whenever a
+   pool cannot win (notably ``cpu_count == 1``), so the ``workers=4`` run
+   must never lose to serial — the effective execution mode and the
+   fallback reason are recorded alongside the timing.  The ≥ 2.5×
+   speedup assertion only applies when ≥ 4 CPUs are available and the
+   pool actually engaged.
 2. **Kernel gain** — the tuple-heap event queue and tightened run loop
    against a faithful replica of the legacy object-heap kernel (per-Event
    ``__lt__`` comparisons, peek-then-pop run loop), on the same
@@ -211,8 +213,11 @@ def test_parallel_sweep_speedup_and_kernel_gain():
     serial = run_many(scenarios, workers=1)
     serial_s = time.perf_counter() - start
 
+    execution: dict = {}
     start = time.perf_counter()
-    parallel = run_many(scenarios, workers=PARALLEL_WORKERS)
+    parallel = run_many(
+        scenarios, workers=PARALLEL_WORKERS, execution_info=execution
+    )
     parallel_s = time.perf_counter() - start
 
     bit_identical = serial == parallel
@@ -248,6 +253,10 @@ def test_parallel_sweep_speedup_and_kernel_gain():
         "parallel_s": round(parallel_s, 3),
         "speedup": round(speedup, 3),
         "bit_identical": bit_identical,
+        "execution_mode": execution.get("mode"),
+        "execution_reason": execution.get("reason"),
+        "execution_workers": execution.get("workers"),
+        "execution_chunksize": execution.get("chunksize"),
         "cached_rerun_s": round(cached_s, 4),
         "cache_speedup": round(cache_speedup, 1),
         "kernel_chain_legacy_s": round(legacy_chain_s, 4),
@@ -263,8 +272,14 @@ def test_parallel_sweep_speedup_and_kernel_gain():
         "Parallel experiment engine",
         f"  16-point grid, {GRID_MESSAGES} msgs/point, {cpu_count} CPU(s)",
         f"  serial   {serial_s:8.2f} s",
-        f"  parallel {parallel_s:8.2f} s  ({PARALLEL_WORKERS} workers, "
-        f"speedup {speedup:.2f}x, bit-identical: {bit_identical})",
+        f"  parallel {parallel_s:8.2f} s  ({PARALLEL_WORKERS}-worker budget, "
+        f"effective mode={execution.get('mode')}"
+        + (
+            f" reason={execution.get('reason')}"
+            if execution.get("reason")
+            else ""
+        )
+        + f", speedup {speedup:.2f}x, bit-identical: {bit_identical})",
         f"  cached   {cached_s:8.4f} s  (speedup {cache_speedup:.0f}x)",
         "DES kernel (legacy object heap -> tuple heap)",
         f"  chain  {legacy_chain_s:.4f} s -> {kernel_chain_s:.4f} s "
@@ -278,5 +293,13 @@ def test_parallel_sweep_speedup_and_kernel_gain():
     # The kernel claim holds everywhere; the pool claim needs the cores.
     assert chain_gain >= 1.2, f"kernel chain gain {chain_gain:.2f}x < 1.2x"
     assert cache_speedup > 10, "cache-warm re-run should be >10x faster"
-    if cpu_count >= PARALLEL_WORKERS:
+    if execution.get("mode") == "serial":
+        # Auto-serial fallback engaged: both measurements ran the same
+        # in-process loop, so the engine must be at worst timing noise
+        # away from 1x — "never loses to serial".
+        assert speedup >= 0.85, (
+            f"auto-serial run lost to serial: {speedup:.2f}x "
+            f"(reason={execution.get('reason')})"
+        )
+    if cpu_count >= PARALLEL_WORKERS and execution.get("mode") == "pool":
         assert speedup >= 2.5, f"parallel speedup {speedup:.2f}x < 2.5x"

@@ -63,6 +63,39 @@ class Sequential:
         """Inference-mode forward pass."""
         return self.forward(x, training=False)
 
+    def predict_rowwise(self, x: np.ndarray) -> np.ndarray:
+        """Batched inference whose rows are bitwise-identical to
+        ``predict(x[i:i+1])[0]`` for every row ``i``.
+
+        A plain 2-D matmul is *not* guaranteed to reproduce the single-row
+        result bit for bit (BLAS picks different accumulation orders for
+        GEMM vs GEMV), which would break callers that memoise batched
+        predictions and compare them against the scalar path.  Computing
+        each Dense layer as a stacked ``(n, 1, d) @ (d, h)`` matmul keeps
+        per-row GEMV semantics while still amortising the Python-level
+        layer overhead across the whole batch; bias addition and the
+        activations are elementwise and therefore row-independent anyway.
+        """
+        out = np.asarray(x, dtype=np.float64)
+        if out.ndim != 2:
+            raise ValueError(f"expected a 2-D batch, got shape {out.shape}")
+        for layer in self.layers:
+            if isinstance(layer, Dense):
+                if out.shape[1] != layer.in_features:
+                    raise ValueError(
+                        f"expected input of shape (n, {layer.in_features}), "
+                        f"got {out.shape}"
+                    )
+                pre = (out[:, None, :] @ layer.weight.value)[:, 0, :]
+                pre = pre + layer.bias.value
+                out = layer.activation.apply(pre)
+            else:  # pragma: no cover - no non-Dense layers exist today
+                out = np.concatenate(
+                    [layer.forward(out[i : i + 1], training=False)
+                     for i in range(out.shape[0])]
+                )
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Backpropagate a loss gradient through every layer."""
         grad = grad_output

@@ -33,7 +33,7 @@ from ..kpi.dynamic import (
     IntervalObservation,
     _FallbackPredictorView,
 )
-from ..kpi.selection import SelectionContext, evaluate_config
+from ..kpi.selection import SelectionContext, evaluate_configs
 from ..kpi.weighted import KpiWeights, kpi_from_estimates
 from ..models.predictor import ReliabilityEstimate, ReliabilityPredictor
 from ..observability.telemetry import TelemetryConfig
@@ -320,7 +320,11 @@ def run_campaign(
         )
         if policy == "static" and predictor is not None:
             view = _FallbackPredictorView(predictor)
-            predicted = evaluate_config(config, context, view, model, weights)
+            # evaluate_configs routes through the view's batched fallback
+            # path, so phases repeating the same conditions hit the
+            # predictor's quantised-feature memo instead of re-running the
+            # forward pass (bit-identical either way).
+            predicted = evaluate_configs([config], context, view, model, weights)[0]
             source = view.worst_source
         gamma_measured = kpi_from_estimates(
             model.predict(config, stream.mean_payload_bytes, network_delay_s=delay),

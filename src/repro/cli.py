@@ -54,12 +54,39 @@ from .testbed import (
     Scenario,
     abnormal_case_plan,
     normal_case_plan,
+    resolve_workers,
     run_many,
 )
 from .workloads import PAPER_STREAMS
 from .workloads.streams import GAME_TRAFFIC, SOCIAL_MEDIA, WEB_ACCESS_LOGS
 
 __all__ = ["main", "build_parser"]
+
+
+def _workers_argument(text: str):
+    """Parse ``--workers``: a positive integer or the literal ``auto``."""
+    value = text.strip().lower()
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f'expected an integer or "auto", got {text!r}'
+        ) from None
+
+
+def _execution_line(info: dict) -> str:
+    """One-line human summary of how a grid actually executed."""
+    mode = info.get("mode", "?")
+    parts = [f"mode={mode}"]
+    if info.get("workers"):
+        parts.append(f"workers={info['workers']}")
+    if info.get("reason"):
+        parts.append(f"reason={info['reason']}")
+    if info.get("chunksize"):
+        parts.append(f"chunksize={info['chunksize']}")
+    return " ".join(parts)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,9 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_engine_options(command: argparse.ArgumentParser) -> None:
         command.add_argument(
-            "--workers", type=int, default=None, metavar="N",
-            help="experiment pool size (default: $REPRO_WORKERS, "
-                 "else cpu_count - 1)",
+            "--workers", type=_workers_argument, default="auto",
+            metavar="N|auto",
+            help="experiment pool size; 'auto' (default) sizes to the "
+                 "machine ($REPRO_WORKERS, else cpu_count - 1) and falls "
+                 "back to serial when a pool cannot win",
         )
         command.add_argument(
             "--cache-dir", metavar="DIR", default=None,
@@ -169,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--name", default="reliability")
     chaos.add_argument(
+        "--workers", type=_workers_argument, default="auto", metavar="N|auto",
+        help="worker budget note for the run manifest; campaign phases "
+             "feed controller state forward, so the replay itself is a "
+             "sequential control loop",
+    )
+    chaos.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the deterministic JSON campaign report to PATH",
     )
@@ -203,9 +238,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     telemetry = None
     if args.metrics or args.trace_file:
         telemetry = TelemetryConfig(trace_path=args.trace_file)
+    execution: dict = {}
     [result] = run_many(
-        [scenario], workers=args.workers or 1, cache=_build_cache(args),
-        telemetry=telemetry,
+        [scenario], workers=args.workers, cache=_build_cache(args),
+        telemetry=telemetry, execution_info=execution,
     )
     if args.metrics:
         if result.manifest is None:
@@ -218,7 +254,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         # Machine-readable mode: exactly one JSON document on stdout.
         manifest = dict(result.manifest)
         metrics = manifest.pop("metrics", {})
-        document = {"manifest": manifest, "metrics": metrics}
+        document = {
+            "manifest": manifest,
+            "metrics": metrics,
+            "execution": execution,
+        }
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     low, high = result.p_loss_ci
@@ -232,6 +272,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     ]
     for case, fraction in sorted(result.case_fractions.items()):
         rows.append([f"Table I {case}", f"{fraction:.4f}"])
+    rows.append(["execution", _execution_line(execution)])
     print(render_table(rows, title="Experiment result"))
     return 0
 
@@ -374,6 +415,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"mean γ={report.mean_gamma:.3f} "
             f"parked phases={report.breaker_trips}"
         )
+    # Campaign phases feed controller state forward, so the replay is a
+    # sequential control loop regardless of the worker budget.
+    print(
+        "execution: mode=serial reason=sequential_control_loop "
+        f"workers_budget={resolve_workers(args.workers)}"
+    )
     if args.out:
         if len(reports) == 1:
             document = reports[0].to_dict()

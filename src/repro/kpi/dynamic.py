@@ -41,7 +41,7 @@ from .aggregate import IntervalMeasurement, OverallRates, aggregate_rates
 from .selection import (
     ParameterSteps,
     SelectionContext,
-    evaluate_config,
+    evaluate_configs,
     select_configuration,
 )
 from .weighted import DEFAULT_WEIGHTS, KpiWeights
@@ -387,12 +387,18 @@ class DegradedDecision:
 
 
 class _FallbackPredictorView:
-    """Adapter exposing ``predict_vector`` through the fallback chain.
+    """Adapter exposing the predictor API through the fallback chain.
 
-    The stepwise search only knows ``predict_vector``; this view answers
-    it via :meth:`ReliabilityPredictor.predict_with_fallback`, so the
-    search never dies on an uncovered submodel, and records the worst
-    fallback tier it had to reach.
+    The stepwise search knows ``predict_vector`` (and uses the batched
+    ``predict_vectors`` when present); this view answers both via
+    :meth:`ReliabilityPredictor.predict_with_fallback`, so the search
+    never dies on an uncovered submodel, and records the worst fallback
+    tier it had to reach.
+
+    Note on ``worst_source``: the batched search may score candidates the
+    scalar walk would never probe, so the recorded worst tier can be
+    *worse* (never better) than under the scalar walk — any guard keyed
+    on it becomes strictly more conservative, never less.
     """
 
     _TIER_ORDER = {"ann": 0, "neighbour": 1, "conservative": 2}
@@ -401,11 +407,22 @@ class _FallbackPredictorView:
         self._predictor = predictor
         self.worst_source = "ann"
 
+    def _record(self, source: str) -> None:
+        if self._TIER_ORDER[source] > self._TIER_ORDER[self.worst_source]:
+            self.worst_source = source
+
     def predict_vector(self, vector):
         fallback = self._predictor.predict_with_fallback(vector)
-        if self._TIER_ORDER[fallback.source] > self._TIER_ORDER[self.worst_source]:
-            self.worst_source = fallback.source
+        self._record(fallback.source)
         return fallback.estimate
+
+    def predict_vectors(self, vectors, missing: str = "raise"):
+        # ``missing`` is accepted for API parity but irrelevant: the
+        # fallback chain covers every vector, so no slot is ever None.
+        fallbacks = self._predictor.predict_with_fallback_batch(vectors)
+        for fallback in fallbacks:
+            self._record(fallback.source)
+        return [fallback.estimate for fallback in fallbacks]
 
 
 class DegradedModeController:
@@ -506,9 +523,11 @@ class DegradedModeController:
         self, config: ProducerConfig, context: SelectionContext
     ) -> "tuple[float, str]":
         view = _FallbackPredictorView(self.predictor)
-        gamma = evaluate_config(
-            config, context, view, self.performance_model, self.weights
-        )
+        # Batched entry point (batch of one): repeated control ticks under
+        # unchanged conditions serve from the predictor's memo.
+        gamma = evaluate_configs(
+            [config], context, view, self.performance_model, self.weights
+        )[0]
         return gamma, view.worst_source
 
     def decide(

@@ -29,6 +29,7 @@ __all__ = [
     "ParameterSteps",
     "SelectionResult",
     "evaluate_config",
+    "evaluate_configs",
     "select_configuration",
     "scale_producers",
 ]
@@ -96,6 +97,65 @@ def evaluate_config(
     return kpi_from_estimates(performance, reliability, weights)
 
 
+def _predict_reliability_many(
+    predictor: ReliabilityPredictor, vectors: Sequence[FeatureVector]
+) -> List[Optional["object"]]:
+    """Reliability estimates for many vectors, ``None`` where uncovered.
+
+    Duck-typed: predictors exposing ``predict_vectors`` (the batched fast
+    path) serve the whole list with one forward pass per submodel group;
+    anything else — stubs, adapters wrapping only ``predict_vector`` —
+    falls back to the scalar loop with the same ``KeyError`` → ``None``
+    convention, so both shapes plug into the same callers.
+    """
+    batched = getattr(predictor, "predict_vectors", None)
+    if batched is not None:
+        return batched(vectors, missing="none")
+    estimates: List[Optional[object]] = []
+    for vector in vectors:
+        try:
+            estimates.append(predictor.predict_vector(vector))
+        except KeyError:
+            estimates.append(None)
+    return estimates
+
+
+def evaluate_configs(
+    configs: Sequence[ProducerConfig],
+    context: SelectionContext,
+    predictor: ReliabilityPredictor,
+    performance_model: ProducerPerformanceModel,
+    weights: KpiWeights = DEFAULT_WEIGHTS,
+) -> List[Optional[float]]:
+    """Predicted γ for many configurations at once.
+
+    Entry ``i`` is bitwise-identical to
+    ``evaluate_config(configs[i], ...)``, or ``None`` where that call
+    would raise ``KeyError`` (no submodel covers the candidate).  When the
+    predictor exposes ``predict_vectors`` the reliability estimates come
+    from one vectorised forward pass per submodel group; predictors that
+    only implement ``predict_vector`` (stubs, adapters) fall back to the
+    scalar loop, so the call never changes behaviour — only cost.
+
+    The performance model side is closed-form per candidate and memoised
+    inside :meth:`ProducerPerformanceModel.predict`, so the repeated
+    re-scoring a hill-climb does costs one dict hit per revisit.
+    """
+    configs = list(configs)
+    vectors = [context.feature_vector(config) for config in configs]
+    estimates = _predict_reliability_many(predictor, vectors)
+    gammas: List[Optional[float]] = []
+    for config, reliability in zip(configs, estimates):
+        if reliability is None:
+            gammas.append(None)
+            continue
+        performance = performance_model.predict(
+            config, context.message_bytes, context.network_delay_s
+        )
+        gammas.append(kpi_from_estimates(performance, reliability, weights))
+    return gammas
+
+
 def select_configuration(
     context: SelectionContext,
     predictor: ReliabilityPredictor,
@@ -105,6 +165,7 @@ def select_configuration(
     start: Optional[ProducerConfig] = None,
     steps: Optional[ParameterSteps] = None,
     max_rounds: int = 8,
+    batched: bool = True,
 ) -> SelectionResult:
     """Stepwise coordinate search until γ meets the requirement.
 
@@ -113,15 +174,26 @@ def select_configuration(
     improves the predicted γ, stopping at a local optimum for that
     coordinate.  The search exits as soon as the requirement is met (the
     paper's criterion) or when a full round makes no move.
+
+    With ``batched=True`` (the default) every coordinate scores its whole
+    candidate axis in one :func:`evaluate_configs` call and the walk then
+    *replays* the scalar decision sequence against the precomputed γ
+    values.  Because each γ is bitwise-identical to the scalar
+    ``evaluate_config`` result and the comparison sequence (direction
+    order, strict ``> γ + 1e-9`` improvement threshold, first-improvement
+    tie-breaking, early exit on the requirement) is untouched, the
+    returned configuration, γ, ``steps_taken`` and trace are all
+    bit-identical to ``batched=False`` — only the prediction cost drops
+    from one MLP forward pass per probe to one per (coordinate, round).
     """
     steps = steps if steps is not None else ParameterSteps()
     config = start if start is not None else ProducerConfig()
-    try:
-        gamma = evaluate_config(config, context, predictor, performance_model, weights)
-    except KeyError:
-        # No submodel covers the starting configuration; force the search
-        # to look for one that is covered.
-        gamma = float("-inf")
+    start_gamma = evaluate_configs(
+        [config], context, predictor, performance_model, weights
+    )[0]
+    # None ⇔ no submodel covers the starting configuration; force the
+    # search to look for one that is covered.
+    gamma = start_gamma if start_gamma is not None else float("-inf")
     result = SelectionResult(config, gamma, gamma >= gamma_requirement, 0)
     result.trace.append(("start", gamma))
     if result.met_requirement:
@@ -145,6 +217,64 @@ def select_configuration(
                     key=lambda v: (str(v) if parameter == "semantics" else float(v)),
                 )
             index = values.index(current_value)
+            # The walk only ever varies `parameter` while on this
+            # coordinate, and with_() overwrites that field, so the axis
+            # built from the entry config stays valid for the whole walk.
+            axis_configs = [with_value(config, parameter, value) for value in values]
+            axis_estimates: Dict[int, Optional[object]] = {}
+
+            def reliability_at(position: int):
+                # Two-stage batched fetch.  The first request covers just
+                # the entry value's immediate neighbours — the only probes
+                # a non-moving coordinate ever makes, so a stuck walk pays
+                # for two candidates like the scalar path (in one call).
+                # The moment the walk wants anything more, the rest of the
+                # axis is fetched in a single grouped forward pass: a
+                # moving walk re-probes values step by step, and the batch
+                # amortises all of them at once.
+                if position in axis_estimates:
+                    return axis_estimates[position]
+                if not axis_estimates:
+                    wanted = [
+                        p
+                        for p in (index - 1, index + 1)
+                        if 0 <= p < len(values)
+                    ]
+                else:
+                    wanted = [
+                        p for p in range(len(values)) if p not in axis_estimates
+                    ]
+                if position not in wanted:
+                    wanted.append(position)
+                fetched = _predict_reliability_many(
+                    predictor,
+                    [context.feature_vector(axis_configs[p]) for p in wanted],
+                )
+                axis_estimates.update(zip(wanted, fetched))
+                return axis_estimates[position]
+
+            def gamma_at(position: int) -> Optional[float]:
+                if batched:
+                    reliability = reliability_at(position)
+                    if reliability is None:
+                        return None  # no submodel for that semantics/region
+                    performance = performance_model.predict(
+                        axis_configs[position],
+                        context.message_bytes,
+                        context.network_delay_s,
+                    )
+                    return kpi_from_estimates(performance, reliability, weights)
+                try:
+                    return evaluate_config(
+                        axis_configs[position],
+                        context,
+                        predictor,
+                        performance_model,
+                        weights,
+                    )
+                except KeyError:
+                    return None  # no submodel for that semantics/region
+
             improved = True
             while improved:
                 improved = False
@@ -152,16 +282,16 @@ def select_configuration(
                     neighbour = index + direction
                     if not 0 <= neighbour < len(values):
                         continue
-                    candidate = with_value(config, parameter, values[neighbour])
-                    try:
-                        candidate_gamma = evaluate_config(
-                            candidate, context, predictor, performance_model, weights
-                        )
-                    except KeyError:
-                        continue  # no submodel for that semantics/region
+                    candidate_gamma = gamma_at(neighbour)
+                    if candidate_gamma is None:
+                        continue
                     result.steps_taken += 1
                     if candidate_gamma > gamma + 1e-9:
-                        config, gamma, index = candidate, candidate_gamma, neighbour
+                        config, gamma, index = (
+                            axis_configs[neighbour],
+                            candidate_gamma,
+                            neighbour,
+                        )
                         result.trace.append((f"{parameter}={values[neighbour]}", gamma))
                         moved = True
                         improved = True

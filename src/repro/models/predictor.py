@@ -9,7 +9,7 @@ SGD, MSE) behind a standard scaler; predictions are clipped to [0, 1].
 
 from __future__ import annotations
 
-import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -81,6 +81,10 @@ class ReliabilityEstimate:
 #: safest configurations rather than optimistic, brittle ones.
 CONSERVATIVE_ESTIMATE = ReliabilityEstimate(p_loss=0.5, p_duplicate=0.05)
 
+#: Sentinel distinguishing "index not built yet" from "built, but empty"
+#: (``None``) in the neighbour-index cache.
+_UNBUILT = object()
+
 
 @dataclass(frozen=True)
 class FallbackEstimate:
@@ -124,6 +128,25 @@ class SubModel:
         scaled = self.scaler.transform(rows)
         return np.clip(self.network.predict(scaled), 0.0, 1.0)
 
+    def predict_rows_batched(self, rows: np.ndarray) -> np.ndarray:
+        """One vectorised forward pass over many pre-encoded rows.
+
+        Row ``i`` of the result is bitwise-identical to
+        ``predict_rows(rows[i:i+1])[0]``: the scaler and the clip are
+        elementwise, and :meth:`Sequential.predict_rowwise` preserves
+        per-row GEMV accumulation order inside the network.
+        """
+        scaled = self.scaler.transform(rows)
+        return np.clip(self.network.predict_rowwise(scaled), 0.0, 1.0)
+
+    def estimate_from_outputs(self, outputs: np.ndarray) -> ReliabilityEstimate:
+        """Name one output row and wrap it as a :class:`ReliabilityEstimate`."""
+        named = dict(zip(self.outputs, outputs))
+        return ReliabilityEstimate(
+            p_loss=float(named.get("p_loss", 0.0)),
+            p_duplicate=float(named.get("p_duplicate", 0.0)),
+        )
+
 
 class ReliabilityPredictor:
     """Routes feature vectors to trained submodels (the Eq. 1 ``f``)."""
@@ -140,9 +163,59 @@ class ReliabilityPredictor:
         "message_timeout_s": 3.0,
     }
 
+    #: Capacity of the quantised-feature prediction memo (LRU eviction).
+    MEMO_CAPACITY = 4096
+
     def __init__(self) -> None:
         self.submodels: Dict[Tuple[str, str], SubModel] = {}
         self._memory: List[ExperimentResult] = []
+        # Quantised-feature LRU memo over the fallback chain's answers.
+        # Keys are FeatureVector.quantised_key(); entries are the exact
+        # FallbackEstimate the chain produced, so a memo hit is
+        # bit-identical to recomputing.  Invalidated whenever the chain's
+        # inputs change: fit() (new submodels) and remember() (new rows
+        # for the neighbour tier).
+        self._memo: "OrderedDict[Tuple, FallbackEstimate]" = OrderedDict()
+        self._memo_hits = 0
+        self._memo_misses = 0
+        # Per-semantics numpy index over remembered rows for the
+        # vectorised nearest-neighbour fallback; rebuilt lazily after
+        # every invalidation.
+        self._neighbour_index_cache: Dict[
+            str, Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+        ] = {}
+
+    # ------------------------------------------------------------- caching
+
+    def invalidate_caches(self) -> None:
+        """Drop the prediction memo and the neighbour index.
+
+        Called automatically by :meth:`fit` and :meth:`remember`; exposed
+        for callers that mutate :attr:`submodels` directly (registry
+        loaders, tests).
+        """
+        self._memo.clear()
+        self._neighbour_index_cache.clear()
+
+    @property
+    def memo_stats(self) -> Tuple[int, int]:
+        """(hits, misses) of the quantised-feature memo since creation."""
+        return (self._memo_hits, self._memo_misses)
+
+    def _memo_get(self, key: Tuple) -> Optional[FallbackEstimate]:
+        hit = self._memo.get(key)
+        if hit is not None:
+            self._memo.move_to_end(key)
+            self._memo_hits += 1
+        else:
+            self._memo_misses += 1
+        return hit
+
+    def _memo_put(self, key: Tuple, value: FallbackEstimate) -> None:
+        self._memo[key] = value
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.MEMO_CAPACITY:
+            self._memo.popitem(last=False)
 
     # ------------------------------------------------------------ training
 
@@ -171,6 +244,7 @@ class ReliabilityPredictor:
         # (Registry persistence stores only the networks; reload and call
         # :meth:`remember` to rebuild the table from saved results.)
         self._memory.extend(results)
+        self.invalidate_caches()
         groups: Dict[Tuple[str, str], List[ExperimentResult]] = {}
         for result in results:
             vector = FeatureVector.from_result(result)
@@ -265,6 +339,7 @@ class ReliabilityPredictor:
         predictor still warming up.  Returns the total remembered rows.
         """
         self._memory.extend(results)
+        self.invalidate_caches()
         return len(self._memory)
 
     @property
@@ -281,28 +356,67 @@ class ReliabilityPredictor:
             total += delta * delta
         return total
 
+    def _neighbour_index(
+        self, semantics: DeliverySemantics
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Numpy view of the remembered rows under one semantics.
+
+        Returns ``(features, p_loss, p_duplicate)`` where ``features`` has
+        one column per :data:`_NEIGHBOUR_SCALES` entry and rows keep the
+        memory (insertion) order — the tie-breaking order of the scalar
+        scan.  Rebuilt lazily after every :meth:`invalidate_caches`.
+        """
+        cached = self._neighbour_index_cache.get(semantics.value, _UNBUILT)
+        if cached is not _UNBUILT:
+            return cached
+        features: List[List[float]] = []
+        p_loss: List[float] = []
+        p_duplicate: List[float] = []
+        names = list(self._NEIGHBOUR_SCALES)
+        for row in self._memory:
+            candidate = FeatureVector.from_result(row)
+            if candidate.semantics is not semantics:
+                continue
+            features.append([getattr(candidate, name) for name in names])
+            p_loss.append(row.p_loss)
+            p_duplicate.append(row.p_duplicate)
+        index: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+        if not features:
+            index = None
+        else:
+            index = (
+                np.array(features, dtype=np.float64),
+                np.array(p_loss, dtype=np.float64),
+                np.array(p_duplicate, dtype=np.float64),
+            )
+        self._neighbour_index_cache[semantics.value] = index
+        return index
+
     def _nearest_neighbour(
         self, vector: FeatureVector
     ) -> Optional[ReliabilityEstimate]:
         """Measured result closest to ``vector`` under the same semantics.
 
         Ties resolve to the earliest remembered row, so the tier is
-        deterministic for a fixed memory.
+        deterministic for a fixed memory.  The distances are computed over
+        the whole memory at once with numpy, column by column in
+        :data:`_NEIGHBOUR_SCALES` order so every per-row sum reproduces the
+        sequential scalar accumulation bit for bit (``np.sum`` would not:
+        it uses pairwise summation).
         """
-        best: Optional[ExperimentResult] = None
-        best_distance = math.inf
-        for row in self._memory:
-            candidate = FeatureVector.from_result(row)
-            if candidate.semantics is not vector.semantics:
-                continue
-            distance = self._neighbour_distance(vector, candidate)
-            if distance < best_distance:
-                best, best_distance = row, distance
-        if best is None:
+        index = self._neighbour_index(vector.semantics)
+        if index is None:
             return None
+        features, p_loss, p_duplicate = index
+        total: Optional[np.ndarray] = None
+        for column, (name, scale) in enumerate(self._NEIGHBOUR_SCALES.items()):
+            delta = (getattr(vector, name) - features[:, column]) / scale
+            squared = delta * delta
+            total = squared if total is None else total + squared
+        pick = int(np.argmin(total))
         return ReliabilityEstimate(
-            p_loss=min(1.0, max(0.0, best.p_loss)),
-            p_duplicate=min(1.0, max(0.0, best.p_duplicate)),
+            p_loss=min(1.0, max(0.0, float(p_loss[pick]))),
+            p_duplicate=min(1.0, max(0.0, float(p_duplicate[pick]))),
         )
 
     def predict_with_fallback(self, vector: FeatureVector) -> FallbackEstimate:
@@ -323,6 +437,111 @@ class ReliabilityPredictor:
         if neighbour is not None:
             return FallbackEstimate(neighbour, "neighbour")
         return FallbackEstimate(CONSERVATIVE_ESTIMATE, "conservative")
+
+    # ------------------------------------------------------- batched paths
+
+    def predict_vectors(
+        self,
+        vectors: Sequence[FeatureVector],
+        missing: str = "raise",
+    ) -> List[Optional[ReliabilityEstimate]]:
+        """Predict many feature vectors with one forward pass per submodel.
+
+        Vectors are grouped by submodel key (region × semantics) and each
+        group runs through :meth:`SubModel.predict_rows_batched`, so the
+        Python-level network overhead is paid once per group instead of
+        once per vector.  Entry ``i`` of the result is bitwise-identical
+        to ``predict_vector(vectors[i])``.
+
+        ``missing`` controls uncovered vectors: ``"raise"`` (default)
+        raises the same ``KeyError`` as the scalar path; ``"none"`` leaves
+        ``None`` in that slot so callers can chain into the fallback tiers.
+        """
+        if missing not in ("raise", "none"):
+            raise ValueError(f"unknown missing policy {missing!r}")
+        vectors = list(vectors)
+        out: List[Optional[ReliabilityEstimate]] = [None] * len(vectors)
+        keys: List[Optional[Tuple]] = [None] * len(vectors)
+        pending: Dict[Tuple[str, str], List[int]] = {}
+        for i, vector in enumerate(vectors):
+            # The first two key elements ARE the submodel key, so one
+            # quantised_key() call covers both routing and the memo probe.
+            quantised = vector.quantised_key()
+            keys[i] = quantised
+            cached = self._memo_get(quantised)
+            if cached is not None and cached.source == "ann":
+                # An "ann" memo entry implies the submodel existed when it
+                # was stored, and fit() invalidates the memo — so the
+                # coverage check can be skipped on a hit.
+                out[i] = cached.estimate
+                continue
+            key = quantised[:2]
+            if key not in self.submodels:
+                if missing == "raise":
+                    raise KeyError(
+                        f"no submodel trained for region={key[0]!r}, "
+                        f"semantics={key[1]!r}"
+                    )
+                continue
+            pending.setdefault(key, []).append(i)
+        for key, indices in pending.items():
+            submodel = self.submodels[key]
+            rows = submodel.schema.encode_many([vectors[i] for i in indices])
+            outputs = submodel.predict_rows_batched(rows)
+            for slot, i in enumerate(indices):
+                estimate = submodel.estimate_from_outputs(outputs[slot])
+                out[i] = estimate
+                self._memo_put(keys[i], FallbackEstimate(estimate, "ann"))
+        return out
+
+    def predict_with_fallback_batch(
+        self, vectors: Sequence[FeatureVector]
+    ) -> List[FallbackEstimate]:
+        """Batched :meth:`predict_with_fallback`: never raises ``KeyError``.
+
+        Entry ``i`` is bitwise-identical to
+        ``predict_with_fallback(vectors[i])`` — covered vectors share one
+        vectorised forward pass per submodel, uncovered ones take the
+        numpy nearest-neighbour tier, and everything lands in the
+        quantised-feature memo so repeated queries (hill-climb search
+        revisiting the same candidates round after round) are O(1).
+        """
+        vectors = list(vectors)
+        out: List[Optional[FallbackEstimate]] = [None] * len(vectors)
+        keys: List[Optional[Tuple]] = [None] * len(vectors)
+        pending: Dict[Tuple[str, str], List[int]] = {}
+        uncovered: List[int] = []
+        for i, vector in enumerate(vectors):
+            quantised = vector.quantised_key()
+            keys[i] = quantised
+            cached = self._memo_get(quantised)
+            if cached is not None:
+                out[i] = cached
+                continue
+            key = quantised[:2]
+            if key in self.submodels:
+                pending.setdefault(key, []).append(i)
+            else:
+                uncovered.append(i)
+        for key, indices in pending.items():
+            submodel = self.submodels[key]
+            rows = submodel.schema.encode_many([vectors[i] for i in indices])
+            outputs = submodel.predict_rows_batched(rows)
+            for slot, i in enumerate(indices):
+                result = FallbackEstimate(
+                    submodel.estimate_from_outputs(outputs[slot]), "ann"
+                )
+                out[i] = result
+                self._memo_put(keys[i], result)
+        for i in uncovered:
+            neighbour = self._nearest_neighbour(vectors[i])
+            if neighbour is not None:
+                result = FallbackEstimate(neighbour, "neighbour")
+            else:
+                result = FallbackEstimate(CONSERVATIVE_ESTIMATE, "conservative")
+            out[i] = result
+            self._memo_put(keys[i], result)
+        return out
 
     # ---------------------------------------------------------- evaluation
 

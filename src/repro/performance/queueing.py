@@ -16,6 +16,7 @@ All formulas assume the normal-network regime (the paper evaluates φ and
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..kafka.config import BrokerConfig, HardwareProfile, ProducerConfig
 from ..network.packet import ACK_PACKET_BYTES, DEFAULT_MTU, WIRE_HEADER_BYTES
@@ -61,6 +62,9 @@ class ProducerPerformanceModel:
         Broker timing, part of the request round trip.
     """
 
+    #: Capacity of the per-configuration prediction memo.
+    PREDICT_CACHE_CAPACITY = 4096
+
     def __init__(
         self,
         hardware: HardwareProfile = HardwareProfile(),
@@ -68,6 +72,14 @@ class ProducerPerformanceModel:
     ) -> None:
         self.hardware = hardware
         self.broker = broker
+        # The model is pure: (config, message_bytes, network_delay_s) fully
+        # determines the estimate, and ProducerConfig is frozen/hashable,
+        # so memoising is safe for the model's lifetime.  Config searches
+        # revisit the same candidates every round — this turns those
+        # re-evaluations into dict hits.
+        self._predict_cache: Dict[
+            Tuple[ProducerConfig, int, float], PerformanceEstimate
+        ] = {}
 
     # ------------------------------------------------------------ pieces
 
@@ -194,9 +206,43 @@ class ProducerPerformanceModel:
         message_bytes: int,
         network_delay_s: float = 0.0,
     ) -> PerformanceEstimate:
-        """Predict (φ, μ, latency) for one configuration."""
+        """Predict (φ, μ, latency) for one configuration (memoised)."""
         if message_bytes < 1:
             raise ValueError("message_bytes must be >= 1")
+        key = (config, message_bytes, network_delay_s)
+        cached = self._predict_cache.get(key)
+        if cached is not None:
+            return cached
+        estimate = self._predict_uncached(config, message_bytes, network_delay_s)
+        if len(self._predict_cache) >= self.PREDICT_CACHE_CAPACITY:
+            self._predict_cache.clear()
+        self._predict_cache[key] = estimate
+        return estimate
+
+    def predict_many(
+        self,
+        configs: Sequence[ProducerConfig],
+        message_bytes: int,
+        network_delay_s: float = 0.0,
+    ) -> List[PerformanceEstimate]:
+        """Predict a batch of configurations, sharing the memo.
+
+        The model is closed-form per configuration (no cross-candidate
+        coupling), so batching here is about the memo: a hill-climb round
+        re-scores mostly-seen candidates and pays the arithmetic only for
+        the new ones.
+        """
+        return [
+            self.predict(config, message_bytes, network_delay_s)
+            for config in configs
+        ]
+
+    def _predict_uncached(
+        self,
+        config: ProducerConfig,
+        message_bytes: int,
+        network_delay_s: float,
+    ) -> PerformanceEstimate:
         mu = self.service_rate(config, message_bytes, network_delay_s)
         lam = self.arrival_rate(config, message_bytes)
         throughput = min(lam, mu)

@@ -24,6 +24,7 @@ from .runner import (
     RunFailure,
     resolve_workers,
     run_many,
+    shutdown_pool,
 )
 from .scaled import ScaledExperiment, run_scaled_experiment
 from .sensitivity import (
@@ -46,6 +47,7 @@ __all__ = [
     "RunTelemetry",
     "run_many",
     "resolve_workers",
+    "shutdown_pool",
     "RunFailure",
     "ExperimentFailed",
     "derive_seed",

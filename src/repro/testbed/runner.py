@@ -8,14 +8,24 @@ input order, bit-identical to running the same scenarios serially.
 
 Worker count resolution (:func:`resolve_workers`):
 
-1. an explicit ``workers=`` argument wins,
+1. an explicit ``workers=`` argument wins (``"auto"`` defers to 2–3),
 2. else the ``REPRO_WORKERS`` environment variable,
 3. else ``os.cpu_count() - 1`` (at least 1).
 
-``workers=1`` (or a single scenario) short-circuits to an in-process loop
-with no pool overhead.  A :class:`~repro.testbed.cache.ResultCache` can be
-threaded through so already-measured rows are reused instead of re-run;
-fresh measurements are written back to the cache as they complete.
+Engine overhead control: the pool path reuses one persistent
+spawn-context pool across :func:`run_many` calls (workers pre-import the
+experiment stack at pool creation, so repeated sweeps never re-pay
+process start-up), scenarios cross the process boundary as lean
+field-diff payloads rehydrated in the worker, and chunks are sized
+adaptively (~4 per worker, clamped to 32).  When a pool cannot win —
+``workers <= 1``, a single-CPU host, or a grid that fits in one chunk —
+:func:`run_many` automatically falls back to the in-process serial loop
+and records why (``execution_info`` out-param and an optional
+``runner.auto_serial.*`` metrics counter), so the engine never loses to
+serial execution on dispatch overhead.  A
+:class:`~repro.testbed.cache.ResultCache` can be threaded through so
+already-measured rows are reused instead of re-run; fresh measurements
+are written back to the cache as they complete.
 
 Failures inside a worker never take the whole grid down silently: each
 scenario's exception is captured with its traceback and either re-raised
@@ -36,15 +46,19 @@ sweep.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import multiprocessing
 import os
 import time
 import traceback
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, fields as dataclass_fields
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..kafka.config import BrokerConfig, HardwareProfile, ProducerConfig
+from ..observability.metrics import MetricsRegistry
 from ..observability.telemetry import TelemetryConfig
 from .cache import Quarantine, ResultCache, default_salt, scenario_fingerprint
 from .experiment import run_experiment
@@ -58,6 +72,7 @@ __all__ = [
     "ExperimentFailed",
     "resolve_workers",
     "run_many",
+    "shutdown_pool",
 ]
 
 #: Environment variable consulted when ``workers`` is not given.
@@ -177,11 +192,28 @@ class ExperimentFailed(RuntimeError):
         super().__init__("\n".join(lines))
 
 
-def resolve_workers(workers: Optional[int] = None) -> int:
-    """Resolve the effective worker count (argument > env > cpu_count-1)."""
+def resolve_workers(workers: Optional[Union[int, str]] = None) -> int:
+    """Resolve the effective worker count (argument > env > cpu_count-1).
+
+    ``"auto"`` — the CLI default — behaves exactly like ``None``: consult
+    ``REPRO_WORKERS`` (which may itself say ``auto``), else size to the
+    machine (``cpu_count - 1``, at least 1).  Numeric strings are accepted
+    so shell-sourced values need no pre-parsing.
+    """
+    if isinstance(workers, str):
+        text = workers.strip().lower()
+        if text in ("", "auto"):
+            workers = None
+        else:
+            try:
+                workers = int(text)
+            except ValueError:
+                raise ValueError(
+                    f'workers must be an integer or "auto", got {text!r}'
+                ) from None
     if workers is None:
         env = os.environ.get(WORKERS_ENV_VAR, "").strip()
-        if env:
+        if env and env.lower() != "auto":
             try:
                 workers = int(env)
             except ValueError:
@@ -193,6 +225,124 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     if workers < 1:
         raise ValueError("workers must be >= 1")
     return workers
+
+
+def _cpu_count() -> int:
+    """Host CPU count (indirection point so tests can pin the topology)."""
+    return os.cpu_count() or 1
+
+
+#: Upper bound on the adaptive chunk size: past this, tail latency (one
+#: worker stuck with a huge final chunk) costs more than the saved IPC.
+_MAX_CHUNKSIZE = 32
+
+#: Counter-name slugs for the auto-serial reasons.
+_REASON_SLUGS = {
+    "workers<=1": "workers_le_1",
+    "cpu_count==1": "cpu_count_eq_1",
+    "single_chunk": "single_chunk",
+}
+
+_WARM_POOL: Optional[Any] = None
+_WARM_POOL_WORKERS = 0
+
+
+def _pool_initializer() -> None:
+    """Warm a fresh worker at pool creation.
+
+    Importing the experiment stack (DES core, broker model, numpy) is the
+    dominant cost of a cold spawn worker; doing it in the initializer
+    moves that bill to pool creation — paid once per process lifetime —
+    instead of the first dispatched chunk of every sweep.
+    """
+    import repro.testbed.experiment  # noqa: F401
+
+
+def _warm_pool(workers: int):
+    """The persistent spawn pool, (re)created when the size changes."""
+    global _WARM_POOL, _WARM_POOL_WORKERS
+    if _WARM_POOL is not None and _WARM_POOL_WORKERS != workers:
+        shutdown_pool()
+    if _WARM_POOL is None:
+        context = multiprocessing.get_context("spawn")
+        _WARM_POOL = context.Pool(
+            processes=workers, initializer=_pool_initializer
+        )
+        _WARM_POOL_WORKERS = workers
+    return _WARM_POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (idempotent).
+
+    Registered with :mod:`atexit`; call it explicitly to release the
+    worker processes early (e.g. between benchmark phases) or after a
+    dispatch error left the pool in an unknown state.
+    """
+    global _WARM_POOL, _WARM_POOL_WORKERS
+    if _WARM_POOL is not None:
+        _WARM_POOL.terminate()
+        _WARM_POOL.join()
+        _WARM_POOL = None
+        _WARM_POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+_SCENARIO_DEFAULTS = Scenario()
+_NESTED_FIELDS = {
+    "config": ProducerConfig,
+    "hardware": HardwareProfile,
+    "broker_config": BrokerConfig,
+}
+
+
+def _diff_dataclass(value: Any, default: Any) -> Dict[str, Any]:
+    """Fields of ``value`` that differ from ``default``, enums as values."""
+    diff: Dict[str, Any] = {}
+    for field_info in dataclass_fields(value):
+        current = getattr(value, field_info.name)
+        if current == getattr(default, field_info.name):
+            continue
+        diff[field_info.name] = (
+            current.value if isinstance(current, Enum) else current
+        )
+    return diff
+
+
+def _encode_scenario(scenario: Scenario) -> Dict[str, Any]:
+    """Lean wire form of a scenario: only the fields that differ.
+
+    Sweeps vary a handful of axes around shared defaults, so the diff is
+    typically a few primitives where a full pickle carries every field of
+    the scenario plus three nested dataclasses — per-task IPC shrinks by
+    roughly an order of magnitude.  :func:`_decode_scenario` is the exact
+    inverse (round-trip equality is unit-tested), so workers reconstruct
+    the identical frozen :class:`Scenario`.
+    """
+    payload: Dict[str, Any] = {}
+    for field_info in dataclass_fields(Scenario):
+        current = getattr(scenario, field_info.name)
+        if current == getattr(_SCENARIO_DEFAULTS, field_info.name):
+            continue
+        nested = _NESTED_FIELDS.get(field_info.name)
+        payload[field_info.name] = (
+            _diff_dataclass(current, nested()) if nested else current
+        )
+    return payload
+
+
+def _decode_scenario(payload: Dict[str, Any]) -> Scenario:
+    """Rehydrate a :func:`_encode_scenario` payload into a scenario."""
+    changes = dict(payload)
+    if "config" in changes:
+        # with_() parses the semantics enum back from its wire value.
+        changes["config"] = ProducerConfig().with_(**changes["config"])
+    for name in ("hardware", "broker_config"):
+        if name in changes:
+            changes[name] = _NESTED_FIELDS[name](**changes[name])
+    return _SCENARIO_DEFAULTS.with_(**changes) if changes else _SCENARIO_DEFAULTS
 
 
 def _run_one(job: Tuple[Scenario, Optional[TelemetryConfig]]) -> Tuple[bool, object]:
@@ -214,9 +364,21 @@ def _run_one(job: Tuple[Scenario, Optional[TelemetryConfig]]) -> Tuple[bool, obj
         return False, (repr(exc), traceback.format_exc())
 
 
+def _run_encoded(
+    job: Tuple[Dict[str, Any], Optional[TelemetryConfig]]
+) -> Tuple[bool, object]:
+    """Pool worker: rehydrate a lean scenario payload, then run it."""
+    payload, telemetry = job
+    try:
+        scenario = _decode_scenario(payload)
+    except Exception as exc:  # noqa: BLE001 - bad payload = failed slot
+        return False, (repr(exc), traceback.format_exc())
+    return _run_one((scenario, telemetry))
+
+
 def run_many(
     scenarios: Sequence[Scenario],
-    workers: Optional[int] = None,
+    workers: Optional[Union[int, str]] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
     on_error: str = "raise",
@@ -225,6 +387,8 @@ def run_many(
     retry: Optional[RetryPolicy] = None,
     quarantine: Optional[Quarantine] = None,
     sleep: Callable[[float], None] = time.sleep,
+    metrics: Optional[MetricsRegistry] = None,
+    execution_info: Optional[Dict[str, Any]] = None,
 ) -> List[Union[ExperimentResult, RunFailure]]:
     """Run many experiments, in parallel, in deterministic input order.
 
@@ -233,8 +397,12 @@ def run_many(
     scenarios:
         The grid to measure (any iterable of :class:`Scenario`).
     workers:
-        Pool size; see :func:`resolve_workers` for defaulting.  The pool
-        is capped at the number of scenarios actually needing a run.
+        Pool size (``int`` or ``"auto"``); see :func:`resolve_workers`
+        for defaulting.  The pool is capped at the number of scenarios
+        actually needing a run, and the call falls back to the serial
+        in-process loop outright whenever a pool cannot win — resolved
+        ``workers <= 1``, a single-CPU host, or a grid that fits inside
+        one dispatch chunk.
     cache:
         Optional result cache; hits skip the run, fresh results are
         written back *as each scenario completes*, so an interrupted
@@ -247,8 +415,9 @@ def run_many(
         grid drains; ``"collect"`` leaves a :class:`RunFailure` in the
         failed slot instead.
     chunksize:
-        Scenarios handed to a worker per dispatch; defaults to a value
-        that gives each worker ~4 chunks for even load with low IPC.
+        Scenarios handed to a worker per dispatch; defaults to an
+        adaptive value giving each worker ~4 chunks for even load with
+        low IPC, clamped to ``32`` so huge grids keep a bounded tail.
         Only used on the no-retry pool path (retries dispatch singly).
     telemetry:
         Optional :class:`~repro.observability.telemetry.TelemetryConfig`
@@ -272,6 +441,17 @@ def run_many(
     sleep:
         Backoff sleep hook (tests inject a recorder; production uses
         :func:`time.sleep`).
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`;
+        an automatic serial fallback increments
+        ``runner.auto_serial.<reason>`` so sweeps can report *why* the
+        pool was skipped.
+    execution_info:
+        Optional dict filled in place with how the grid actually ran:
+        ``mode`` (``"serial"`` / ``"pool"`` / ``"cache"``), ``workers``,
+        ``reason`` (the auto-serial trigger, else ``None``),
+        ``chunksize``, ``pending`` and ``total``.  Callers print it into
+        run manifests.
 
     Returns
     -------
@@ -350,16 +530,57 @@ def run_many(
         if progress is not None:
             progress(index, total, scenario)
 
-    def job_for(index: int) -> Tuple[Scenario, Optional[TelemetryConfig]]:
-        scenario = scenarios[index]
+    def telemetry_for(index: int) -> Optional[TelemetryConfig]:
         if telemetry is None:
-            return scenario, None
-        return scenario, telemetry.for_scenario(index, scenario.seed)
+            return None
+        return telemetry.for_scenario(index, scenarios[index].seed)
 
+    def job_for(index: int) -> Tuple[Scenario, Optional[TelemetryConfig]]:
+        return scenarios[index], telemetry_for(index)
+
+    def encoded_job_for(
+        index: int,
+    ) -> Tuple[Dict[str, Any], Optional[TelemetryConfig]]:
+        return _encode_scenario(scenarios[index]), telemetry_for(index)
+
+    info: Dict[str, Any] = {
+        "mode": "cache",
+        "workers": 0,
+        "reason": None,
+        "chunksize": None,
+        "pending": len(pending),
+        "total": total,
+    }
     if pending:
-        workers = min(resolve_workers(workers), len(pending))
-        needs_pool = workers > 1 or (retry is not None and retry.timeout_s is not None)
-        if not needs_pool:
+        requested = resolve_workers(workers)
+        effective = min(requested, len(pending))
+        chunk = (
+            chunksize
+            if chunksize is not None
+            else min(
+                _MAX_CHUNKSIZE,
+                max(1, -(-len(pending) // (effective * 4))),
+            )
+        )
+        # A pool cannot beat the serial loop when there is no parallelism
+        # to buy (one worker, one CPU) or nothing to spread (the whole
+        # grid fits in a single dispatch chunk); fall back automatically
+        # and record why.  A per-attempt timeout still forces the pool:
+        # abandoning a hung attempt needs a worker process to abandon.
+        force_pool = retry is not None and retry.timeout_s is not None
+        serial_reason: Optional[str] = None
+        if requested <= 1:
+            serial_reason = "workers<=1"
+        elif _cpu_count() <= 1:
+            serial_reason = "cpu_count==1"
+        elif len(pending) <= chunk:
+            serial_reason = "single_chunk"
+        if serial_reason is not None and not force_pool:
+            info.update(mode="serial", workers=1, reason=serial_reason)
+            if metrics is not None:
+                metrics.counter(
+                    f"runner.auto_serial.{_REASON_SLUGS[serial_reason]}"
+                ).inc()
             max_attempts = retry.max_attempts if retry is not None else 1
             for index in pending:
                 for attempt in range(1, max_attempts + 1):
@@ -373,14 +594,13 @@ def run_many(
                         error, trace = payload
                         record_failure(index, error, trace, attempts=attempt)
         elif retry is None:
-            if chunksize is None:
-                chunksize = max(1, len(pending) // (workers * 4))
-            context = multiprocessing.get_context("spawn")
-            with context.Pool(processes=workers) as pool:
+            info.update(mode="pool", workers=effective, chunksize=chunk)
+            pool = _warm_pool(effective)
+            try:
                 outcomes = pool.imap(
-                    _run_one,
-                    [job_for(index) for index in pending],
-                    chunksize=chunksize,
+                    _run_encoded,
+                    [encoded_job_for(index) for index in pending],
+                    chunksize=chunk,
                 )
                 for index, (ok, payload) in zip(pending, outcomes):
                     if ok:
@@ -388,18 +608,26 @@ def run_many(
                     else:
                         error, trace = payload
                         record_failure(index, error, trace, attempts=1)
+            except Exception:
+                # The pool may hold half-dispatched state; don't let the
+                # next sweep inherit it.
+                shutdown_pool()
+                raise
         else:
+            info.update(mode="pool", workers=effective)
             _drain_pool_with_retry(
                 pending,
                 job_for,
                 fingerprint,
                 retry,
-                workers,
+                effective,
                 record_success,
                 record_failure,
                 sleep,
             )
 
+    if execution_info is not None:
+        execution_info.update(info)
     if raising_failures and on_error == "raise":
         raise ExperimentFailed(raising_failures)
     return results  # type: ignore[return-value]  # every slot is filled
@@ -424,8 +652,11 @@ def _drain_pool_with_retry(
     order, so slots, failure order and the backoff schedule are all
     deterministic regardless of which worker finishes first.
     """
+    # Deliberately ephemeral (not the warm pool): a timed-out attempt
+    # leaves its worker wedged mid-experiment, and the only safe cleanup
+    # is tearing the whole pool down on exit.
     context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=workers) as pool:
+    with context.Pool(processes=workers, initializer=_pool_initializer) as pool:
         active: Dict[int, Tuple[object, int]] = {
             index: (pool.apply_async(_run_one, (job_for(index),)), 1)
             for index in pending

@@ -1,0 +1,154 @@
+"""Auto-serial fallback, worker resolution and the lean payload codec.
+
+The engine must never lose to serial execution on dispatch overhead:
+whenever a pool cannot win (one worker, one CPU, a grid that fits in a
+single chunk) `run_many` drops to the in-process loop and records *why*
+— in the `execution_info` out-param and a `runner.auto_serial.<reason>`
+metrics counter.
+"""
+
+import pytest
+
+import repro.testbed.runner as runner_mod
+from repro.kafka import DeliverySemantics, HardwareProfile, ProducerConfig
+from repro.observability import MetricsRegistry
+from repro.testbed import Scenario, resolve_workers, run_many
+from repro.testbed.runner import (
+    _decode_scenario,
+    _encode_scenario,
+)
+
+
+def fake_run_experiment(scenario, telemetry=None):
+    return ("ran", scenario.seed)
+
+
+@pytest.fixture(autouse=True)
+def stub_experiment(monkeypatch):
+    monkeypatch.setattr(runner_mod, "run_experiment", fake_run_experiment)
+
+
+def scenarios(count):
+    return [Scenario(message_count=10, seed=i + 1) for i in range(count)]
+
+
+class TestResolveWorkersAuto:
+    def test_auto_string_behaves_like_none(self, monkeypatch):
+        monkeypatch.delenv(runner_mod.WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers("auto") == resolve_workers(None)
+
+    def test_numeric_string_accepted(self):
+        assert resolve_workers("3") == 3
+
+    def test_auto_env_value_falls_back_to_cpu(self, monkeypatch):
+        monkeypatch.setenv(runner_mod.WORKERS_ENV_VAR, "auto")
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 9)
+        assert resolve_workers(None) == 8
+
+    def test_garbage_string_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+
+    def test_zero_still_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestAutoSerialReasons:
+    def test_workers_le_1(self):
+        registry = MetricsRegistry()
+        info = {}
+        run_many(scenarios(4), workers=1, metrics=registry, execution_info=info)
+        assert info["mode"] == "serial"
+        assert info["reason"] == "workers<=1"
+        assert registry.counter("runner.auto_serial.workers_le_1").value == 1
+
+    def test_cpu_count_eq_1(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "_cpu_count", lambda: 1)
+        registry = MetricsRegistry()
+        info = {}
+        run_many(scenarios(8), workers=4, metrics=registry, execution_info=info)
+        assert info["mode"] == "serial"
+        assert info["reason"] == "cpu_count==1"
+        assert registry.counter("runner.auto_serial.cpu_count_eq_1").value == 1
+
+    def test_single_chunk(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "_cpu_count", lambda: 8)
+        registry = MetricsRegistry()
+        info = {}
+        # Explicit chunksize bigger than the grid: one dispatch chunk, so
+        # a pool has nothing to spread.
+        run_many(
+            scenarios(4), workers=4, chunksize=16,
+            metrics=registry, execution_info=info,
+        )
+        assert info["mode"] == "serial"
+        assert info["reason"] == "single_chunk"
+        assert registry.counter("runner.auto_serial.single_chunk").value == 1
+
+    def test_single_scenario_never_pays_for_a_pool(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "_cpu_count", lambda: 8)
+        info = {}
+        run_many(scenarios(1), workers=4, execution_info=info)
+        assert info["mode"] == "serial"
+        assert info["reason"] == "single_chunk"
+
+    def test_metrics_optional(self):
+        [result] = run_many(scenarios(1), workers=1)
+        assert result == ("ran", 1)
+
+
+class TestExecutionInfoShape:
+    def test_serial_info_fields(self):
+        info = {}
+        run_many(scenarios(3), workers=1, execution_info=info)
+        assert info == {
+            "mode": "serial",
+            "workers": 1,
+            "reason": "workers<=1",
+            "chunksize": None,
+            "pending": 3,
+            "total": 3,
+        }
+
+
+class TestLeanPayloadCodec:
+    def test_default_scenario_is_empty_payload(self):
+        assert _encode_scenario(Scenario()) == {}
+        assert _decode_scenario({}) == Scenario()
+
+    def test_round_trip_preserves_every_field(self):
+        scenario = Scenario(
+            message_bytes=900,
+            timeliness_s=4.0,
+            network_delay_s=0.25,
+            loss_rate=0.1,
+            jitter_s=0.01,
+            config=ProducerConfig(
+                semantics=DeliverySemantics.AT_MOST_ONCE,
+                batch_size=6,
+                polling_interval_s=0.04,
+                message_timeout_s=2.0,
+                max_retries=3,
+            ),
+            message_count=777,
+            seed=42,
+            bursty_loss=True,
+            arrival_rate=123.0,
+            broker_count=5,
+            partition_count=7,
+            hardware=HardwareProfile(),
+            topic_name="alt",
+        )
+        payload = _encode_scenario(scenario)
+        assert _decode_scenario(payload) == scenario
+
+    def test_payload_only_carries_diffs(self):
+        payload = _encode_scenario(Scenario(seed=9, message_bytes=500))
+        assert payload == {"message_bytes": 500, "seed": 9}
+
+    def test_nested_enum_encodes_as_wire_value(self):
+        payload = _encode_scenario(
+            Scenario(config=ProducerConfig(semantics=DeliverySemantics.EXACTLY_ONCE))
+        )
+        assert payload == {"config": {"semantics": "exactly_once"}}

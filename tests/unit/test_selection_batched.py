@@ -1,0 +1,123 @@
+"""Batched configuration search: must be bit-identical to the scalar walk.
+
+`select_configuration(batched=True)` replays the exact scalar decision
+sequence against γ values computed by grouped forward passes, so the
+chosen configuration, γ, step count and trace must match the scalar path
+bit for bit on every grid point — the batching is invisible except in
+cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kafka import DeliverySemantics, ProducerConfig
+from repro.kpi import SelectionContext, select_configuration
+from repro.kpi.selection import evaluate_config, evaluate_configs, ParameterSteps
+from repro.models import ReliabilityPredictor, TrainingSettings
+from repro.performance import ProducerPerformanceModel
+
+from .test_predictor_batch import SEMANTICS, training_rows
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    rows = []
+    for offset, semantics in enumerate(SEMANTICS[:2]):
+        rows.extend(training_rows(semantics, "normal", count=20, seed=offset))
+        rows.extend(training_rows(semantics, "abnormal", count=20, seed=5 + offset))
+    built = ReliabilityPredictor()
+    built.fit(rows, TrainingSettings(hidden=(16,), epochs=30, patience=None))
+    return built
+
+
+def contexts(count=9, seed=31):
+    rng = np.random.default_rng(seed)
+    out = []
+    for index in range(count):
+        if index % 2 == 0:
+            delay, loss = float(rng.uniform(0.0, 0.15)), 0.0
+        else:
+            delay = float(rng.uniform(0.2, 0.45))
+            loss = float(rng.uniform(0.02, 0.25))
+        out.append(
+            SelectionContext(
+                message_bytes=int(rng.choice([100, 200, 500])),
+                timeliness_s=float(rng.choice([5.0, 10.0])),
+                network_delay_s=delay,
+                loss_rate=loss,
+            )
+        )
+    return out
+
+
+class TestEvaluateConfigs:
+    def test_entries_match_scalar_evaluate_config(self, predictor):
+        model = ProducerPerformanceModel()
+        steps = ParameterSteps()
+        context = contexts(1)[0]
+        # A slice of the full grid crossing semantics and batch size.
+        configs = [
+            ProducerConfig(semantics=semantics, batch_size=batch)
+            for semantics in steps.semantics
+            for batch in steps.batch_size
+        ]
+        gammas = evaluate_configs(configs, context, predictor, model)
+        for config, gamma in zip(configs, gammas):
+            assert gamma == evaluate_config(config, context, predictor, model)
+
+    def test_uncovered_config_yields_none(self, predictor):
+        model = ProducerPerformanceModel()
+        context = contexts(1)[0]
+        uncovered = ProducerConfig(semantics=DeliverySemantics.EXACTLY_ONCE)
+        assert evaluate_configs([uncovered], context, predictor, model) == [None]
+        with pytest.raises(KeyError):
+            evaluate_config(uncovered, context, predictor, model)
+
+
+class TestBatchedSearchIdentity:
+    @pytest.mark.parametrize("gamma_requirement", [0.5, 0.8, 0.99])
+    def test_batched_search_bit_identical_to_scalar(
+        self, predictor, gamma_requirement
+    ):
+        model = ProducerPerformanceModel()
+        for context in contexts():
+            batched = select_configuration(
+                context, predictor, model,
+                gamma_requirement=gamma_requirement, batched=True,
+            )
+            scalar = select_configuration(
+                context, predictor, model,
+                gamma_requirement=gamma_requirement, batched=False,
+            )
+            assert batched.config == scalar.config, context
+            assert batched.gamma == scalar.gamma
+            assert batched.met_requirement == scalar.met_requirement
+            assert batched.steps_taken == scalar.steps_taken
+            assert batched.trace == scalar.trace
+
+    def test_scalar_only_stub_predictor_still_works(self):
+        class StubPredictor:
+            def predict_vector(self, vector):
+                from repro.models import ReliabilityEstimate
+
+                if vector.semantics is DeliverySemantics.EXACTLY_ONCE:
+                    raise KeyError("no submodel")
+                return ReliabilityEstimate(
+                    p_loss=min(1.0, vector.loss_rate * 3.0 / vector.batch_size),
+                    p_duplicate=0.0,
+                )
+
+        model = ProducerPerformanceModel()
+        context = SelectionContext(
+            message_bytes=200, timeliness_s=10.0,
+            network_delay_s=0.3, loss_rate=0.1,
+        )
+        batched = select_configuration(
+            context, StubPredictor(), model, gamma_requirement=0.9, batched=True
+        )
+        scalar = select_configuration(
+            context, StubPredictor(), model, gamma_requirement=0.9, batched=False
+        )
+        assert batched.config == scalar.config
+        assert batched.gamma == scalar.gamma
+        assert batched.trace == scalar.trace
