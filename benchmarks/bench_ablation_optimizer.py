@@ -9,7 +9,6 @@ beyond the observed target range instead.)
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import render_table
 from repro.ann import Adam, Momentum, SGD, StandardScaler, build_mlp, mae

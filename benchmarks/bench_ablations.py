@@ -12,7 +12,6 @@ Beyond the paper's headline figures, these benches probe:
 * **bursty vs independent loss** at equal average rates.
 """
 
-import pytest
 
 from repro.analysis import comparison_table, render_table
 from repro.kafka import DeliverySemantics, ProducerConfig

@@ -14,7 +14,6 @@ DESIGN.md §4 and EXPERIMENTS.md):
   at-least-once ahead.
 """
 
-import pytest
 
 from repro.analysis import FigureSeries
 from repro.kafka import DeliverySemantics, ProducerConfig

@@ -10,7 +10,6 @@ Paper claims (Section IV-B):
   response processing throttles the full-load ingest rate).
 """
 
-import pytest
 
 from repro.analysis import FigureSeries
 from repro.kafka import DeliverySemantics, ProducerConfig

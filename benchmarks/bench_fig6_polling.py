@@ -10,7 +10,6 @@ Paper claims (Section IV-C):
 * the decline is monotone.
 """
 
-import pytest
 
 from repro.analysis import FigureSeries
 from repro.kafka import DeliverySemantics, ProducerConfig

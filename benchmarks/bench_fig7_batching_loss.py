@@ -14,7 +14,6 @@ Paper claims (Section IV-D):
 * around L = 30 % no configuration is comfortable.
 """
 
-import pytest
 
 from repro.analysis import FigureSeries
 from repro.kafka import DeliverySemantics, ProducerConfig

@@ -15,7 +15,6 @@ already persisted the batch, so the retry duplicates it.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import FigureSeries
 from repro.kafka import DeliverySemantics, ProducerConfig

@@ -8,7 +8,6 @@ verifies its statistical signature.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import FigureSeries
 from repro.network import generate_paper_trace

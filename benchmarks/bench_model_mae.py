@@ -9,7 +9,6 @@ Trains the ANN reliability predictor on Fig. 3-design collection data
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import FigureSeries, ascii_plot, comparison_table
 from repro.kafka import DeliverySemantics, ProducerConfig

@@ -12,7 +12,6 @@ Expected ordering on the Fig. 9 trace:
     default (static)  >>  online (estimated state)  >=  oracle (known state)
 """
 
-import pytest
 
 from repro.analysis import comparison_table, render_table
 from repro.kafka import DEFAULT_PRODUCER_CONFIG

@@ -266,7 +266,7 @@ def test_parallel_sweep_speedup_and_kernel_gain():
         "kernel_timer_s": round(kernel_timer_s, 4),
         "kernel_timer_gain": round(timer_gain, 3),
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     lines = [
         "Parallel experiment engine",

@@ -7,7 +7,6 @@ rate μ, and link utilisation vs the predicted φ, across message sizes and
 batch sizes.
 """
 
-import pytest
 
 from repro.analysis import comparison_table, render_table
 from repro.kafka import DeliverySemantics, ProducerConfig

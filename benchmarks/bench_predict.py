@@ -370,7 +370,7 @@ def test_batched_search_speedup_and_identity():
         "selection_bit_identical": selection_identical,
         "strict_gate": strict,
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     lines = [
         "Batched prediction fast path",

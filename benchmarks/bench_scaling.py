@@ -8,7 +8,6 @@ cluster — and shows loss collapsing as the fleet grows, at constant
 aggregate throughput.
 """
 
-import pytest
 
 from repro.analysis import FigureSeries, comparison_table, ascii_plot
 from repro.kafka import DeliverySemantics, ProducerConfig

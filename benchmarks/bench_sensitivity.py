@@ -11,7 +11,6 @@ parameters the paper selected as features come out sensitive while the
 ones it explicitly discarded (retry strategy) come out insensitive.
 """
 
-import pytest
 
 from repro.analysis import comparison_table, render_table
 from repro.kafka import DeliverySemantics, ProducerConfig

@@ -8,7 +8,6 @@ five cases occur, with the expected dependence on semantics:
 * Case 1 dominates on a clean network.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.kafka import DeliverySemantics, ProducerConfig

@@ -15,7 +15,6 @@ Paper claims:
   the dynamic policy trades a slightly higher R_d for the loss reduction.
 """
 
-import pytest
 
 from repro.analysis import comparison_table, render_table
 from repro.kafka import DEFAULT_PRODUCER_CONFIG

@@ -96,7 +96,7 @@ def test_telemetry_overhead(tmp_path):
         "trace_events": trace_events,
         "results_bit_identical": True,
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     lines = [
         "telemetry overhead (8-point grid, serial)",

@@ -13,7 +13,6 @@ accounting that feeds the model's timeliness feature:
   staleness are separate failure modes (the KPI weights trade them).
 """
 
-import pytest
 
 from repro.analysis import FigureSeries, ascii_plot, comparison_table
 from repro.kafka import DeliverySemantics, ProducerConfig

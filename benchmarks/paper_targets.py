@@ -9,10 +9,10 @@ not the authors' testbed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.analysis import FigureSeries, ascii_plot, comparison_table
-from repro.testbed import ExperimentResult, Scenario, run_experiment, sweep
+from repro.testbed import Scenario, sweep
 
 __all__ = [
     "measure_curve",

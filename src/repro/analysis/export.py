@@ -39,7 +39,7 @@ def series_to_json(series: FigureSeries, path: "str | Path") -> Path:
         "x": list(series.x),
         "curves": {label: list(values) for label, values in series.curves.items()},
     }
-    path.write_text(json.dumps(payload, indent=2))
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 
 
@@ -48,6 +48,8 @@ def results_to_json(results: Iterable[ExperimentResult], path: "str | Path") -> 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        json.dumps([result.to_dict() for result in results], indent=2)
+        json.dumps(
+            [result.to_dict() for result in results], indent=2, sort_keys=True
+        )
     )
     return path

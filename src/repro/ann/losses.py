@@ -34,7 +34,9 @@ class MSELoss(Loss):
 
     name = "mse"
 
-    def value_and_grad(self, predicted, target):
+    def value_and_grad(
+        self, predicted: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
         predicted, target = _check(predicted, target)
         diff = predicted - target
         n = predicted.shape[0]
@@ -46,7 +48,9 @@ class MAELoss(Loss):
 
     name = "mae"
 
-    def value_and_grad(self, predicted, target):
+    def value_and_grad(
+        self, predicted: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
         predicted, target = _check(predicted, target)
         diff = predicted - target
         n = predicted.shape[0]
@@ -66,7 +70,9 @@ class HuberLoss(Loss):
             raise ValueError("delta must be positive")
         self.delta = float(delta)
 
-    def value_and_grad(self, predicted, target):
+    def value_and_grad(
+        self, predicted: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
         predicted, target = _check(predicted, target)
         diff = predicted - target
         abs_diff = np.abs(diff)

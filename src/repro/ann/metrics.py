@@ -7,7 +7,9 @@ import numpy as np
 __all__ = ["mae", "rmse", "r2_score", "max_error"]
 
 
-def _pair(predicted: np.ndarray, target: np.ndarray):
+def _pair(
+    predicted: np.ndarray, target: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
     predicted = np.asarray(predicted, dtype=np.float64)
     target = np.asarray(target, dtype=np.float64)
     if predicted.shape != target.shape:

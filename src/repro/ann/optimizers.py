@@ -110,7 +110,7 @@ class Adam(Optimizer):
         self._finish(parameters)
 
 
-def get_optimizer(name: "str | Optimizer", **kwargs) -> Optimizer:
+def get_optimizer(name: "str | Optimizer", **kwargs: float) -> Optimizer:
     """Resolve an optimiser by name or pass an instance through."""
     if isinstance(name, Optimizer):
         return name

@@ -42,7 +42,9 @@ def save_model(model: Sequential, directory: "str | Path") -> Path:
         weights[f"layer{index}_weight"] = layer.weight.value
         weights[f"layer{index}_bias"] = layer.bias.value
     spec = {"format_version": _FORMAT_VERSION, "layers": architecture}
-    (directory / "architecture.json").write_text(json.dumps(spec, indent=2))
+    (directory / "architecture.json").write_text(
+        json.dumps(spec, indent=2, sort_keys=True)
+    )
     np.savez(directory / "weights.npz", **weights)
     return directory
 

@@ -8,7 +8,7 @@ fan-based schemes used for small fully-connected regression networks.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Tuple
 
 import numpy as np
 

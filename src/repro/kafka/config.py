@@ -12,7 +12,7 @@ unit system that keeps discrete-event counts tractable (see DESIGN.md §2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from .semantics import DeliverySemantics

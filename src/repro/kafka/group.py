@@ -13,7 +13,7 @@ paper studies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .cluster import KafkaCluster
 from .log import LogEntry

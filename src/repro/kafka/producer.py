@@ -24,11 +24,10 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 from ..network.link import FORWARD, REVERSE
-from ..network.packet import WIRE_HEADER_BYTES
 from ..network.transport import ReliableChannel
 from ..observability.metrics import DEFAULT_LATENCY_BUCKETS
 from ..observability.trace import EventKind
@@ -39,7 +38,6 @@ from .broker import ProduceRequest, ProduceResponse
 from .cluster import KafkaCluster
 from .config import HardwareProfile, ProducerConfig
 from .message import ProducerRecord
-from .semantics import DeliverySemantics
 from .topic import Topic
 
 __all__ = ["ProducerListener", "ProducerStats", "KafkaProducer"]

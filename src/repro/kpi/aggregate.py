@@ -9,7 +9,7 @@ measurement intervals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable
 
 __all__ = ["IntervalMeasurement", "OverallRates", "aggregate_rates"]
 

@@ -26,12 +26,14 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..kafka.config import DEFAULT_PRODUCER_CONFIG, ProducerConfig
 from ..kafka.semantics import DeliverySemantics
-from ..models.predictor import ReliabilityPredictor
+from ..models.features import FeatureVector
+from ..models.predictor import ReliabilityEstimate, ReliabilityPredictor
 from ..network.trace import NetworkTrace
+from ..observability.telemetry import RunTelemetry
 from ..observability.trace import EventKind
 from ..performance.queueing import ProducerPerformanceModel
 from ..testbed.experiment import run_experiment
@@ -106,7 +108,7 @@ class ConfigurationPlan:
                 for entry in self.entries
             ],
         }
-        Path(path).write_text(json.dumps(payload, indent=2))
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
     @classmethod
     def load(cls, path: "str | Path") -> "ConfigurationPlan":
@@ -138,7 +140,7 @@ class DynamicConfigurationController:
         gamma_requirement: float = 0.8,
         reconfig_interval_s: float = 60.0,
         steps: Optional[ParameterSteps] = None,
-        telemetry=None,
+        telemetry: Optional[RunTelemetry] = None,
     ) -> None:
         if reconfig_interval_s <= 0:
             raise ValueError("reconfig_interval_s must be positive")
@@ -411,12 +413,14 @@ class _FallbackPredictorView:
         if self._TIER_ORDER[source] > self._TIER_ORDER[self.worst_source]:
             self.worst_source = source
 
-    def predict_vector(self, vector):
+    def predict_vector(self, vector: FeatureVector) -> ReliabilityEstimate:
         fallback = self._predictor.predict_with_fallback(vector)
         self._record(fallback.source)
         return fallback.estimate
 
-    def predict_vectors(self, vectors, missing: str = "raise"):
+    def predict_vectors(
+        self, vectors: Sequence[FeatureVector], missing: str = "raise"
+    ) -> List[ReliabilityEstimate]:
         # ``missing`` is accepted for API parity but irrelevant: the
         # fallback chain covers every vector, so no slot is ever None.
         fallbacks = self._predictor.predict_with_fallback_batch(vectors)

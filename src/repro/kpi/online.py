@@ -20,7 +20,7 @@ both the offline (oracle-trace) controller and the static default.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..kafka.config import DEFAULT_PRODUCER_CONFIG, ProducerConfig
@@ -30,7 +30,7 @@ from ..performance.queueing import ProducerPerformanceModel
 from ..testbed.experiment import Experiment
 from ..testbed.scenario import Scenario
 from ..workloads.streams import StreamProfile
-from .aggregate import IntervalMeasurement, OverallRates, aggregate_rates
+from .aggregate import IntervalMeasurement, aggregate_rates
 from .dynamic import DynamicRunReport, required_producers
 from .selection import (
     ParameterSteps,

@@ -202,7 +202,7 @@ def select_configuration(
     def candidates(parameter: str) -> Sequence:
         return getattr(steps, parameter)
 
-    def with_value(base: ProducerConfig, parameter: str, value) -> ProducerConfig:
+    def with_value(base: ProducerConfig, parameter: str, value: object) -> ProducerConfig:
         return base.with_(**{parameter: value})
 
     parameters = ["semantics", "batch_size", "polling_interval_s", "message_timeout_s"]
@@ -223,7 +223,7 @@ def select_configuration(
             axis_configs = [with_value(config, parameter, value) for value in values]
             axis_estimates: Dict[int, Optional[object]] = {}
 
-            def reliability_at(position: int):
+            def reliability_at(position: int) -> Optional[object]:
                 # Two-stage batched fetch.  The first request covers just
                 # the entry value's immediate neighbours — the only probes
                 # a non-moving coordinate ever makes, so a stuck walk pays

@@ -1,0 +1,113 @@
+"""Committed lint baseline: park legacy findings without blocking CI.
+
+A baseline entry fingerprints a finding by *rule id + file path + a
+BLAKE2b hash of the flagged source line* (not the line number), so a
+baselined finding survives unrelated edits above it but resurfaces the
+moment the flagged line itself changes.  The file is JSON with sorted
+keys, so regenerating it on an unchanged tree is a no-op diff.
+
+Workflow:
+
+* ``repro lint --write-baseline`` records every currently-active
+  finding (do this once when adopting a new rule over legacy code),
+* CI runs ``repro lint`` with the committed baseline: old findings are
+  reported as *baselined* and do not gate; any new finding fails,
+* shrink the baseline over time by fixing entries and regenerating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from .finding import Finding
+
+__all__ = ["Baseline", "finding_fingerprint"]
+
+_VERSION = 1
+
+
+def finding_fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across line-number drift."""
+    line_hash = hashlib.blake2b(
+        finding.snippet.strip().encode("utf-8"), digest_size=8
+    ).hexdigest()
+    return f"{finding.rule}:{finding.path}:{line_hash}"
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    def __init__(self, entries: Counter = None) -> None:
+        self.entries: Counter = Counter(entries or {})
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{payload.get('version')!r}"
+            )
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"malformed baseline file {path}")
+        return cls(Counter({str(k): int(v) for k, v in entries.items()}))
+
+    def save(self, path: "str | Path") -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": {key: count for key, count in sorted(self.entries.items())},
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(Counter(finding_fingerprint(f) for f in findings))
+
+    def split(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, baselined).
+
+        Each baseline entry absorbs at most its recorded count of
+        matching findings, so adding a *second* occurrence of a
+        baselined pattern to the same file still fails the run.
+        """
+        remaining = Counter(self.entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding_fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(_mark_baselined(finding))
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+def _mark_baselined(finding: Finding) -> Finding:
+    return Finding(
+        rule=finding.rule,
+        name=finding.name,
+        severity=finding.severity,
+        path=finding.path,
+        line=finding.line,
+        col=finding.col,
+        message=finding.message,
+        snippet=finding.snippet,
+        baselined=True,
+    )

@@ -1,0 +1,103 @@
+"""Human and JSON reporters for lint results.
+
+The JSON report is itself a determinism-sensitive artifact (CI uploads
+it), so it is fully sorted: findings by (path, line, col, rule), keys
+alphabetically.  Schema (version 1)::
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "paths": [...],              # scanned roots, as given
+      "files_scanned": int,
+      "counts": {"new": n, "baselined": n, "suppressed": n},
+      "rules": [{"id", "name", "severity", "description"}...],
+      "findings": [Finding.to_dict()...],        # new findings only
+      "baselined": [...], "suppressed": [...],
+      "ok": bool                   # nothing gates at the fail level
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .engine import LintResult
+from .finding import Finding, Severity
+from .rules import Rule
+
+__all__ = ["REPORT_VERSION", "json_report", "render_human"]
+
+REPORT_VERSION = 1
+
+
+def _gates(findings: Sequence[Finding], fail_on: Severity) -> bool:
+    return any(f.severity.rank >= fail_on.rank for f in findings)
+
+
+def json_report(
+    result: LintResult,
+    baselined: Sequence[Finding],
+    rules: Sequence[Rule],
+    paths: Sequence[str],
+    fail_on: Severity = Severity.ERROR,
+) -> Dict[str, Any]:
+    """Build the schema-stable JSON document for one run."""
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro-lint",
+        "paths": list(paths),
+        "files_scanned": result.files_scanned,
+        "counts": {
+            "new": len(result.findings),
+            "baselined": len(baselined),
+            "suppressed": len(result.suppressed),
+        },
+        "rules": [
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "severity": rule.severity.value,
+                "description": rule.description,
+            }
+            for rule in sorted(rules, key=lambda r: r.id)
+        ],
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in baselined],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "ok": not _gates(result.findings, fail_on),
+    }
+
+
+def render_json(document: Dict[str, Any]) -> str:
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_human(
+    result: LintResult,
+    baselined: Sequence[Finding],
+    fail_on: Severity = Severity.ERROR,
+) -> str:
+    """Compiler-style listing plus a one-line summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.severity.value} {finding.rule} [{finding.name}] "
+            f"{finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    summary = (
+        f"{result.files_scanned} file(s) scanned: "
+        f"{len(result.findings)} new finding(s), "
+        f"{len(baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    lines.append(summary)
+    if result.findings and _gates(result.findings, fail_on):
+        lines.append(
+            "fix the finding, add '# repro: allow[RULE]' with a "
+            "justification, or record it via --write-baseline"
+        )
+    return "\n".join(lines) + "\n"

@@ -10,19 +10,18 @@ SGD, MSE) behind a standard scaler; predictions are clipped to [0, 1].
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ann.metrics import mae
 from ..ann.network import PAPER_HIDDEN_LAYERS, Sequential, build_mlp
 from ..ann.optimizers import SGD
 from ..ann.scaling import StandardScaler
 from ..kafka.semantics import DeliverySemantics
 from ..testbed.results import ExperimentResult
 from ..testbed.scenario import Scenario
-from .features import ABNORMAL, FeatureSchema, FeatureVector, NORMAL
+from .features import FeatureSchema, FeatureVector
 
 __all__ = [
     "TrainingSettings",

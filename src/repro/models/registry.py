@@ -65,7 +65,9 @@ class ModelRegistry:
                 "scaler": submodel.scaler.to_dict(),
                 "physics_features": submodel.schema.physics_features,
             }
-        (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+        (directory / _MANIFEST).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True)
+        )
         return directory
 
     def load(self, name: str) -> ReliabilityPredictor:

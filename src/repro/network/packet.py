@@ -10,7 +10,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["PacketKind", "Packet", "WIRE_HEADER_BYTES", "ACK_PACKET_BYTES", "DEFAULT_MTU"]
 

@@ -22,7 +22,7 @@ Contention effects instead emerge from the finite link capacity.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set
 
 from ..observability.metrics import DEFAULT_LATENCY_BUCKETS

@@ -25,7 +25,7 @@ import hashlib
 import json
 from collections import deque
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "EventKind",

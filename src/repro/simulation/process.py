@@ -13,7 +13,7 @@ event queue.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List
 
 from .simulator import Simulator
 

@@ -21,12 +21,11 @@ the paper's "minimise the time spent on collecting training data".
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..kafka.config import ProducerConfig
 from ..kafka.semantics import DeliverySemantics
 from .cache import ResultCache
 from .results import ExperimentResult

@@ -12,7 +12,7 @@ over the union of all source keys against the shared topic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -1,7 +1,6 @@
 """Integration tests for broker-failure scenarios (paper future work)."""
 
 from repro.kafka import DeliverySemantics, ProducerConfig
-from repro.network import NetworkFault
 from repro.testbed import Experiment, Scenario
 
 

@@ -1,0 +1,9 @@
+"""Golden fixtures for the lint rules.
+
+Each rule has a ``<slug>_bad.py`` (must fire) and ``<slug>_clean.py``
+(must stay quiet) pair.  The files are never imported or executed —
+``tests/unit/test_lint_rules.py`` feeds their *text* to the engine with
+an in-scope module override — and the directory is excluded from
+``repro lint`` scans (see ``DEFAULT_EXCLUDED_DIRS``), so the deliberate
+violations never pollute a real lint run.
+"""

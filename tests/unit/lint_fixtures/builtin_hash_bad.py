@@ -1,0 +1,5 @@
+"""REPRO104 violating fixture: PYTHONHASHSEED-dependent hash()."""
+
+
+def stream_seed(master_seed: int, name: str) -> int:
+    return master_seed ^ hash(name)  # REPRO104: varies across processes

@@ -1,0 +1,8 @@
+"""REPRO104 clean fixture: stable digests via hashlib."""
+
+import hashlib
+
+
+def stream_seed(master_seed: int, name: str) -> int:
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    return master_seed ^ int.from_bytes(digest, "big")

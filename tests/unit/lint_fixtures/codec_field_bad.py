@@ -1,0 +1,11 @@
+"""REPRO301 violating fixture: codec-unsafe dataclass fields."""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Scenario:
+    message_bytes: int = 200
+    labels: Dict[str, str] = field(default_factory=dict)  # REPRO301
+    on_complete: Optional[Callable[[], None]] = None  # REPRO301

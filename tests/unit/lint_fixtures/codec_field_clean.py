@@ -1,0 +1,20 @@
+"""REPRO301 clean fixture: scalar / Optional / registered-class fields."""
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProducerConfig:
+    batch_size: int = 1
+    polling_interval_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    KIND: ClassVar[str] = "scenario"
+    message_bytes: int = 200
+    timeliness_s: Optional[float] = None
+    config: ProducerConfig = field(default_factory=ProducerConfig)
+    axes: Tuple[float, ...] = ()
+    topic_name: "str" = "events"

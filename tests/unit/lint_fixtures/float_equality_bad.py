@@ -1,0 +1,13 @@
+"""REPRO201 violating fixture: exact equality on computed floats."""
+
+
+def crossed_threshold(p_loss: float) -> bool:
+    return p_loss == 0.05  # REPRO201: one rounding error from flipping
+
+
+def not_at_half(ratio: float) -> bool:
+    return ratio != 0.5  # REPRO201
+
+
+def negative_literal(delta: float) -> bool:
+    return delta == -2.5  # REPRO201

@@ -1,0 +1,19 @@
+"""REPRO201 clean fixture: tolerances and allowed sentinels."""
+
+import math
+
+
+def crossed_threshold(p_loss: float) -> bool:
+    return math.isclose(p_loss, 0.05, abs_tol=1e-9)
+
+
+def no_jitter_configured(jitter_fraction: float) -> bool:
+    return jitter_fraction == 0.0  # sentinel: bit-exact by construction
+
+
+def is_saturated(utilisation: float) -> bool:
+    return utilisation == 1.0  # sentinel
+
+
+def ordering_is_fine(a: float) -> bool:
+    return a < 0.25

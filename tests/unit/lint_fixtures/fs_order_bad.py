@@ -1,0 +1,14 @@
+"""REPRO106 violating fixture: filesystem-ordered listings."""
+
+import os
+
+
+def cache_entries(root):
+    return [entry.stem for entry in root.glob("*/*.json")]  # REPRO106
+
+
+def model_names(root):
+    names = []
+    for name in os.listdir(root):  # REPRO106
+        names.append(name)
+    return names

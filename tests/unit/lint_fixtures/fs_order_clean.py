@@ -1,0 +1,11 @@
+"""REPRO106 clean fixture: listings wrapped in sorted()."""
+
+import os
+
+
+def cache_entries(root):
+    return [entry.stem for entry in sorted(root.glob("*/*.json"))]
+
+
+def model_names(root):
+    return sorted(os.listdir(root))

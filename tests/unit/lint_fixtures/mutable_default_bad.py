@@ -1,0 +1,15 @@
+"""REPRO202 violating fixture: shared mutable defaults."""
+
+
+def accumulate(value, acc=[]):  # REPRO202
+    acc.append(value)
+    return acc
+
+
+def tally(key, counts={}):  # REPRO202
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def dedupe(items, seen=set()):  # REPRO202
+    return [item for item in items if item not in seen]

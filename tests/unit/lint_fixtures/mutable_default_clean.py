@@ -1,0 +1,15 @@
+"""REPRO202 clean fixture: None defaults built in the body."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+def accumulate(value, acc: Optional[list] = None):
+    acc = [] if acc is None else acc
+    acc.append(value)
+    return acc
+
+
+@dataclass
+class Bucket:
+    items: List[int] = field(default_factory=list)

@@ -1,0 +1,20 @@
+"""REPRO103 violating fixture: hash-ordered iteration."""
+
+
+def report_keys(counts, source_keys):
+    lines = []
+    # REPRO103: set-difference iteration order leaks into the output
+    for key in set(source_keys) - set(counts):
+        lines.append(f"lost {key}")
+    return lines
+
+
+def first_views(names):
+    return [name.upper() for name in {n.strip() for n in names}]  # REPRO103
+
+
+def union_walk(a, b):
+    out = []
+    for item in frozenset(a) | frozenset(b):  # REPRO103: set algebra
+        out.append(item)
+    return out

@@ -1,0 +1,18 @@
+"""REPRO103 clean fixture: set order pinned with sorted()."""
+
+
+def report_keys(counts, source_keys):
+    lost = set(source_keys) - set(counts)
+    lines = []
+    for key in sorted(lost):
+        lines.append(f"lost {key}")
+    return lines
+
+
+def first_views(names):
+    return [name.upper() for name in sorted({n.strip() for n in names})]
+
+
+def membership_is_fine(keys):
+    wanted = {"a", "b"}
+    return [key for key in keys if key in wanted]

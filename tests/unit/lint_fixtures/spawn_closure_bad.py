@@ -1,0 +1,10 @@
+"""REPRO203 violating fixture: closures handed to the spawn pool."""
+
+
+def run_grid(pool, scenarios):
+    def run_one(scenario):  # closure over nothing, but still unpicklable
+        return scenario.seed
+
+    handles = [pool.apply_async(run_one, (s,)) for s in scenarios]  # REPRO203
+    mapped = pool.imap(lambda s: s.seed, scenarios)  # REPRO203
+    return handles, list(mapped)

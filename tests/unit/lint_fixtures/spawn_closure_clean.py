@@ -1,0 +1,11 @@
+"""REPRO203 clean fixture: module-level pool entry points."""
+
+
+def _run_one(scenario):
+    return scenario.seed
+
+
+def run_grid(pool, scenarios):
+    handles = [pool.apply_async(_run_one, (s,)) for s in scenarios]
+    mapped = pool.imap(_run_one, scenarios)
+    return handles, list(mapped)

@@ -1,0 +1,17 @@
+"""REPRO101 violating fixture: global / unseeded RNG use."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.uniform(0.0, 1.0)  # REPRO101: stdlib global RNG
+
+
+def noise():
+    return np.random.rand(4)  # REPRO101: numpy legacy global RNG
+
+
+def fresh_stream():
+    return np.random.default_rng()  # REPRO101: entropy-seeded

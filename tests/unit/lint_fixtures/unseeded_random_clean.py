@@ -1,0 +1,16 @@
+"""REPRO101 clean fixture: all randomness flows from seeded streams."""
+
+import numpy as np
+
+
+def jitter(rng: np.random.Generator) -> float:
+    return float(rng.uniform(0.0, 1.0))
+
+
+def seeded_stream(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def derived_stream(seed: int) -> np.random.Generator:
+    seq = np.random.SeedSequence([seed, 7])
+    return np.random.Generator(np.random.PCG64(seq))

@@ -1,0 +1,15 @@
+"""REPRO105 violating fixture: insertion-ordered JSON artifacts."""
+
+import json
+
+
+def write_report(path, payload):
+    path.write_text(json.dumps(payload, indent=2))  # REPRO105
+
+
+def dump_report(handle, payload):
+    json.dump(payload, handle)  # REPRO105
+
+
+def explicit_false(payload):
+    return json.dumps(payload, sort_keys=False)  # REPRO105

@@ -1,0 +1,15 @@
+"""REPRO105 clean fixture: every dump pins key order."""
+
+import json
+
+
+def write_report(path, payload):
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def dump_report(handle, payload):
+    json.dump(payload, handle, sort_keys=True)
+
+
+def loads_are_unaffected(text):
+    return json.loads(text)

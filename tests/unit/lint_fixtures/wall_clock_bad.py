@@ -1,0 +1,16 @@
+"""REPRO102 violating fixture: host clock reads in simulated code."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # REPRO102: wall clock
+
+
+def measure() -> float:
+    return time.perf_counter()  # REPRO102: wall clock
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # REPRO102: wall clock

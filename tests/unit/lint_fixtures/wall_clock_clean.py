@@ -1,0 +1,9 @@
+"""REPRO102 clean fixture: time comes from the simulator clock."""
+
+
+def stamp(simulator) -> float:
+    return simulator.now
+
+
+def deadline(simulator, timeout_s: float) -> float:
+    return simulator.now + timeout_s

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.ann import (
-    Dense,
     MinMaxScaler,
     PAPER_HIDDEN_LAYERS,
     SGD,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.kafka import (
     DeliverySemantics,
-    HardwareProfile,
     KafkaCluster,
     KafkaProducer,
     ProducerConfig,

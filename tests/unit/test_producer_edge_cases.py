@@ -1,9 +1,7 @@
 """Edge-case unit tests for the producer pipeline internals."""
 
-import pytest
 
 from repro.kafka import (
-    DeliverySemantics,
     HardwareProfile,
     KafkaCluster,
     KafkaProducer,

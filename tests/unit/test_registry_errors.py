@@ -56,7 +56,7 @@ class TestSerialisationErrors:
         spec_path = tmp_path / "model" / "architecture.json"
         spec = json.loads(spec_path.read_text())
         spec["format_version"] = 999
-        spec_path.write_text(json.dumps(spec))
+        spec_path.write_text(json.dumps(spec, sort_keys=True))
         with pytest.raises(ValueError):
             load_model(tmp_path / "model")
 

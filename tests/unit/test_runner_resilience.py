@@ -245,7 +245,7 @@ class TestCacheCorruption:
         path = cache._path(cache.key(SMALL))
         payload = json.loads(path.read_text())
         payload["result"]["not_a_field"] = 1
-        path.write_text(json.dumps(payload))
+        path.write_text(json.dumps(payload, sort_keys=True))
         assert cache.get(SMALL) is None
         assert cache.corruptions == 1
 

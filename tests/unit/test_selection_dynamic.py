@@ -6,7 +6,7 @@ from ANN training.
 
 import pytest
 
-from repro.kafka import DEFAULT_PRODUCER_CONFIG, DeliverySemantics, ProducerConfig
+from repro.kafka import DeliverySemantics, ProducerConfig
 from repro.kpi import (
     ConfigurationPlan,
     DynamicConfigurationController,

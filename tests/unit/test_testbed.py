@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.kafka import DeliverySemantics, ProducerConfig, ProducerRecord
-from repro.kafka.state import DeliveryCase, MessageState, Transition
+from repro.kafka import DeliverySemantics, ProducerRecord
+from repro.kafka.state import DeliveryCase, MessageState
 from repro.testbed import (
     CollectionPlan,
     DeliveryTracker,

@@ -1,7 +1,6 @@
 """Unit tests for multi-segment transport behaviour."""
 
 import numpy as np
-import pytest
 
 from repro.network import (
     BernoulliLoss,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.kafka import KafkaCluster, KafkaProducer, ProducerRecord
+from repro.kafka import KafkaCluster, KafkaProducer
 from repro.network import ConstantLatency, Link, ReliableChannel
 from repro.simulation import RngRegistry, Simulator
 from repro.workloads import (
